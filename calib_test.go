@@ -1,0 +1,54 @@
+package e9patch
+
+import (
+	"testing"
+
+	"e9patch/internal/emu"
+	"e9patch/internal/lowfat"
+	"e9patch/internal/workload"
+)
+
+// TestCalibrationReport is a diagnostic: it prints per-kernel overhead
+// ratios for A1, A2 and A2+LowFat under the default cost model.
+// Run with: go test -run TestCalibrationReport -v
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report")
+	}
+	for _, arch := range []string{"branchy", "memstream", "matrix", "pointer", "callheavy"} {
+		prog, err := workload.BuildKernel(arch, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := runBinary(t, prog.ELF, nil)
+
+		resA1, err := Rewrite(prog.ELF, Config{Select: SelectJumps, ReserveVA: workload.ReserveVA()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1 := runBinary(t, resA1.Output, nil)
+
+		resA2, err := Rewrite(prog.ELF, Config{Select: SelectHeapWrites, ReserveVA: workload.ReserveVA()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2 := runBinary(t, resA2.Output, nil)
+
+		lfCfg := Config{
+			Select:    SelectHeapWrites,
+			Template:  lowfat.CheckTemplate{},
+			ReserveVA: append(workload.ReserveVA(), lowfat.ReserveVA()...),
+		}
+		resLF, err := Rewrite(prog.ELF, lfCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lf := runBinary(t, resLF.Output, func(m *emu.Machine) {
+			lowfat.Install(m, workload.RTMalloc, workload.RTFree)
+		})
+
+		r := func(c uint64) float64 { return 100 * float64(c) / float64(orig.Counters.Cycles) }
+		t.Logf("%-10s orig=%8d cycles | A1 %6.1f%% | A2 %6.1f%% | LowFat %6.1f%%",
+			arch, orig.Counters.Cycles, r(a1.Counters.Cycles), r(a2.Counters.Cycles), r(lf.Counters.Cycles))
+	}
+}

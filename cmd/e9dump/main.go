@@ -1,0 +1,97 @@
+// Command e9dump inspects an (original or rewritten) x86-64 ELF
+// binary: sections, linear-disassembly statistics, patch-point counts,
+// and — for rewritten binaries — the appended trampoline blob.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"e9patch/internal/disasm"
+	"e9patch/internal/elf64"
+	"e9patch/internal/loader"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 0, "disassemble and print the first N instructions")
+		skip = flag.Uint64("skip", 0, "skip the first N bytes of .text")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: e9dump [-n count] BINARY")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := elf64.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	kind := "EXEC (fixed address)"
+	if f.IsPIE() {
+		kind = "DYN (position independent)"
+	}
+	fmt.Printf("type:    %s\n", kind)
+	fmt.Printf("entry:   %#x\n", f.Header.Entry)
+	lo, hi := f.LoadBounds()
+	fmt.Printf("load:    [%#x, %#x) (%d bytes mapped)\n", lo, hi, hi-lo)
+	for _, s := range f.Sections {
+		if s.Name == "" {
+			continue
+		}
+		fmt.Printf("section: %-12s addr=%#-12x size=%d\n", s.Name, s.Addr, s.Size)
+	}
+
+	text, addr, err := f.Text()
+	if err != nil {
+		fatal(err)
+	}
+	if *skip > uint64(len(text)) {
+		fatal(fmt.Errorf("skip beyond .text"))
+	}
+	res := disasm.Linear(text[*skip:], addr+*skip)
+	jumps := disasm.SelectJumps(res.Insts)
+	writes := disasm.SelectHeapWrites(res.Insts)
+	fmt.Printf("\ninstructions:      %d (%d undecodable bytes)\n", len(res.Insts), res.BadBytes)
+	fmt.Printf("jumps (A1):        %d\n", len(jumps))
+	fmt.Printf("heap writes (A2):  %d\n", len(writes))
+
+	var hist [16]int
+	for i := range res.Insts {
+		hist[res.Insts[i].Len]++
+	}
+	fmt.Printf("length histogram: ")
+	for l := 1; l <= 15; l++ {
+		if hist[l] > 0 {
+			fmt.Printf(" %d:%d", l, hist[l])
+		}
+	}
+	fmt.Println()
+
+	if blob, ok := elf64.AppendedBlob(data); ok {
+		b, err := loader.Decode(blob)
+		if err != nil {
+			fatal(fmt.Errorf("appended blob: %w", err))
+		}
+		fmt.Printf("\nrewritten binary: appended blob %d bytes\n", len(blob))
+		fmt.Printf("  granularity M:   %d pages (block %d bytes)\n", b.Granularity, b.BlockSize)
+		fmt.Printf("  mappings:        %d\n", len(b.Mappings))
+		fmt.Printf("  physical blocks: %d\n", len(b.Blocks))
+		fmt.Printf("  sigtab entries:  %d (B0 int3 handlers)\n", len(b.SigTab))
+	}
+
+	for i := 0; i < *n && i < len(res.Insts); i++ {
+		in := &res.Insts[i]
+		fmt.Printf("%#10x: %-24x %s\n", in.Addr, in.Bytes, in.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "e9dump: %v\n", err)
+	os.Exit(1)
+}

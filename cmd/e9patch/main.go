@@ -1,0 +1,100 @@
+// Command e9patch statically rewrites an x86-64 ELF binary without
+// control-flow recovery, inserting trampolines for every selected
+// instruction via the B1/B2/T1/T2/T3 tactics.
+//
+// Usage:
+//
+//	e9patch -app jumps -o patched.bin input.bin
+//
+// Applications: jumps (A1), heapwrites (A2), all (every instruction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"e9patch"
+	"e9patch/internal/patch"
+	"e9patch/internal/trampoline"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "jumps", "patch-point selector: jumps | heapwrites | all")
+		out     = flag.String("o", "", "output file (required)")
+		gran    = flag.Int("M", 1, "physical page grouping granularity in pages (-1 disables grouping)")
+		noT1    = flag.Bool("no-t1", false, "disable tactic T1 (padded jumps)")
+		noT2    = flag.Bool("no-t2", false, "disable tactic T2 (successor eviction)")
+		noT3    = flag.Bool("no-t3", false, "disable tactic T3 (neighbour eviction)")
+		b0      = flag.Bool("b0-fallback", false, "fall back to int3/SIGTRAP when all tactics fail")
+		skip    = flag.Uint64("skip", 0, "skip the first N bytes of .text (data-in-text workaround)")
+		counter = flag.Uint64("counter", 0, "instead of empty instrumentation, increment the 8-byte counter at this address")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: e9patch -app jumps|heapwrites|all -o OUT INPUT")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	input, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := e9patch.Config{
+		Granularity: *gran,
+		SkipPrefix:  *skip,
+		Patch: patch.Options{
+			DisableT1:  *noT1,
+			DisableT2:  *noT2,
+			DisableT3:  *noT3,
+			B0Fallback: *b0,
+		},
+	}
+	switch *app {
+	case "jumps":
+		cfg.Select = e9patch.SelectJumps
+	case "heapwrites":
+		cfg.Select = e9patch.SelectHeapWrites
+	case "all":
+		cfg.Select = e9patch.SelectAll
+	default:
+		fatal(fmt.Errorf("unknown application %q", *app))
+	}
+	if *counter != 0 {
+		cfg.Template = trampoline.Counter{Addr: *counter}
+	}
+
+	res, err := e9patch.Rewrite(input, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, res.Output, 0o755); err != nil {
+		fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("instructions:  %d (%d undecodable bytes skipped)\n", res.Insts, res.BadBytes)
+	fmt.Printf("patch points:  %d\n", s.Total)
+	fmt.Printf("  B1 (direct jump):        %6d (%.2f%%)\n", s.ByTactic[patch.TacticB1], s.Percent(s.ByTactic[patch.TacticB1]))
+	fmt.Printf("  B2 (punned jump):        %6d (%.2f%%)\n", s.ByTactic[patch.TacticB2], s.Percent(s.ByTactic[patch.TacticB2]))
+	fmt.Printf("  T1 (padded jump):        %6d (%.2f%%)\n", s.ByTactic[patch.TacticT1], s.Percent(s.ByTactic[patch.TacticT1]))
+	fmt.Printf("  T2 (successor eviction): %6d (%.2f%%)\n", s.ByTactic[patch.TacticT2], s.Percent(s.ByTactic[patch.TacticT2]))
+	fmt.Printf("  T3 (neighbour eviction): %6d (%.2f%%)\n", s.ByTactic[patch.TacticT3], s.Percent(s.ByTactic[patch.TacticT3]))
+	if *b0 {
+		fmt.Printf("  B0 (int3 fallback):      %6d (%.2f%%)\n", s.ByTactic[patch.TacticB0], s.Percent(s.ByTactic[patch.TacticB0]))
+	}
+	fmt.Printf("  failed:                  %6d (%.2f%%)\n", s.Failed, s.Percent(s.Failed))
+	fmt.Printf("coverage:      %.2f%%\n", s.SuccPercent())
+	fmt.Printf("trampolines:   %d (%d bytes payload)\n", res.Trampolines, res.Group.TrampolineBytes)
+	fmt.Printf("phys blocks:   %d merged from %d virtual blocks (%d mappings)\n",
+		res.Group.PhysBlocks, res.Group.VirtBlocks, res.Mappings)
+	fmt.Printf("file size:     %d -> %d bytes (%.2f%%)\n", res.InputSize, res.OutputSize, res.SizePercent())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "e9patch: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command e9tool is the high-level front-end to the rewriter, in the
+// spirit of the E9Tool companion of E9Patch: patch points are selected
+// with a matcher expression and the action is chosen by name.
+//
+// Usage:
+//
+//	e9tool -match 'jcc & short' -action empty -o out.bin input.bin
+//	e9tool -match heapwrite -action lowfat -o hardened.bin input.bin
+//	e9tool -match 'branch' -action counter=0x300000000 -o traced.bin input.bin
+//
+// Matcher grammar (see internal/match): terms like jump, jcc, call,
+// ret, memwrite, heapwrite, riprel, short, len>=N, op=0xNN,
+// mnemonic=S, addr=0xA combined with &, |, ! and parentheses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"e9patch"
+	"e9patch/internal/lowfat"
+	"e9patch/internal/patch"
+	"e9patch/internal/trampoline"
+)
+
+func main() {
+	var (
+		expr   = flag.String("match", "", "matcher expression (required)")
+		action = flag.String("action", "empty", "empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap")
+		out    = flag.String("o", "", "output file (required)")
+		gran   = flag.Int("M", 1, "page grouping granularity (-1 disables)")
+		b0     = flag.Bool("b0-fallback", false, "int3 fallback for unpatchable locations")
+		skip   = flag.Uint64("skip", 0, "skip first N bytes of .text")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *out == "" || *expr == "" {
+		fmt.Fprintln(os.Stderr, "usage: e9tool -match EXPR [-action ACT] -o OUT INPUT")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	input, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	sel, err := e9patch.SelectMatch(*expr)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := e9patch.Config{
+		Select:      sel,
+		Granularity: *gran,
+		SkipPrefix:  *skip,
+		Patch:       patch.Options{B0Fallback: *b0},
+	}
+	switch {
+	case *action == "empty":
+		// default template
+	case strings.HasPrefix(*action, "counter="):
+		addr, err := strconv.ParseUint((*action)[len("counter="):], 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad counter address: %w", err))
+		}
+		cfg.Template = trampoline.Counter{Addr: addr}
+	case strings.HasPrefix(*action, "contextcall="):
+		addr, err := strconv.ParseUint((*action)[len("contextcall="):], 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad contextcall address: %w", err))
+		}
+		cfg.Template = trampoline.ContextCall{Fn: addr}
+	case *action == "lowfat":
+		cfg.Template = lowfat.CheckTemplate{}
+		cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
+	case *action == "lowfat-trap":
+		cfg.Template = lowfat.CheckTemplate{Trap: true}
+		cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
+	default:
+		fatal(fmt.Errorf("unknown action %q", *action))
+	}
+
+	res, err := e9patch.Rewrite(input, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, res.Output, 0o755); err != nil {
+		fatal(err)
+	}
+	s := res.Stats
+	fmt.Printf("matched %d of %d instructions; patched %d (%.2f%%); size %.2f%%\n",
+		s.Total, res.Insts, s.Patched(), s.SuccPercent(), res.SizePercent())
+	fmt.Printf("tactics: B1=%d B2=%d T1=%d T2=%d T3=%d B0=%d failed=%d\n",
+		s.ByTactic[patch.TacticB1], s.ByTactic[patch.TacticB2],
+		s.ByTactic[patch.TacticT1], s.ByTactic[patch.TacticT2],
+		s.ByTactic[patch.TacticT3], s.ByTactic[patch.TacticB0], s.Failed)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "e9tool: %v\n", err)
+	os.Exit(1)
+}

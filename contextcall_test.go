@@ -1,0 +1,72 @@
+package e9patch
+
+import (
+	"testing"
+
+	"e9patch/internal/emu"
+	"e9patch/internal/trampoline"
+	"e9patch/internal/workload"
+	"e9patch/internal/x86"
+)
+
+// TestContextCallInstrumentation verifies the general instrumentation
+// template: every executed patch site invokes the bound routine with
+// its own address, the full register context survives, and behaviour is
+// unchanged.
+func TestContextCallInstrumentation(t *testing.T) {
+	const fnAddr = 0x3_0000_0000
+	prog, err := workload.BuildKernel("branchy", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rewrite(prog.ELF, Config{
+		Select:   SelectHeapWrites,
+		Template: trampoline.ContextCall{Fn: fnAddr},
+		ReserveVA: append(workload.ReserveVA(),
+			[2]uint64{fnAddr &^ 0xFFF, fnAddr + 0x1000}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Patched() == 0 {
+		t.Fatal("nothing patched")
+	}
+	patchedAddrs := map[uint64]bool{}
+	for _, lr := range res.Locations {
+		if lr.Tactic != 0 {
+			patchedAddrs[lr.Addr] = true
+		}
+	}
+
+	orig := runBinary(t, prog.ELF, nil)
+
+	hits := map[uint64]uint64{}
+	m := workload.NewMachine(nil)
+	m.Runtime[fnAddr] = func(m *emu.Machine) error {
+		hits[m.Regs[x86.RDI]]++
+		return nil
+	}
+	entry, err := Load(m, res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RIP = entry
+	if err := m.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if m.Output[0] != orig.Output[0] {
+		t.Fatalf("behaviour diverged: %#x vs %#x", m.Output[0], orig.Output[0])
+	}
+	if len(hits) == 0 {
+		t.Fatal("instrumentation routine never called")
+	}
+	var total uint64
+	for addr, n := range hits {
+		total += n
+		if !patchedAddrs[addr] {
+			t.Errorf("instrumentation fired for unpatched address %#x", addr)
+		}
+	}
+	t.Logf("instrumentation: %d sites, %d dynamic hits", len(hits), total)
+}

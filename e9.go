@@ -1,0 +1,318 @@
+// Package e9patch is a static binary rewriter for x86-64 ELF binaries
+// that needs no control-flow recovery, reproducing the system from
+// "Binary Rewriting without Control Flow Recovery" (Duck, Gao,
+// Roychoudhury — PLDI 2020).
+//
+// The rewriter replaces selected instructions with (possibly punned,
+// padded, or evicted) jumps to trampolines, strictly in place,
+// preserving the set of jump targets. New content — trampoline pages
+// merged by physical page grouping, the mmap table, and the SIGTRAP
+// dispatch table — is appended at end-of-file without moving a byte of
+// the original binary.
+//
+// Typical use:
+//
+//	res, err := e9patch.Rewrite(binary, e9patch.Config{
+//	        Select:   e9patch.SelectHeapWrites,
+//	        Template: trampoline.Empty{},
+//	})
+package e9patch
+
+import (
+	"errors"
+	"fmt"
+
+	"e9patch/internal/disasm"
+	"e9patch/internal/elf64"
+	"e9patch/internal/emu"
+	"e9patch/internal/group"
+	"e9patch/internal/loader"
+	"e9patch/internal/match"
+	"e9patch/internal/patch"
+	"e9patch/internal/trampoline"
+	"e9patch/internal/va"
+	"e9patch/internal/x86"
+)
+
+// PIEBase is the deterministic load bias applied to ET_DYN binaries
+// (the address the Linux loader picks for PIE executables when ASLR is
+// disabled; our simulated loader is deterministic by design).
+const PIEBase uint64 = 0x5555_5555_4000
+
+// Selector chooses patch locations among the disassembled instructions.
+type Selector func(insts []x86.Inst) []int
+
+// SelectJumps is the paper's application A1: instrument all jmp/jcc.
+func SelectJumps(insts []x86.Inst) []int { return disasm.SelectJumps(insts) }
+
+// SelectHeapWrites is the paper's application A2: instrument all
+// instructions that may write through heap pointers.
+func SelectHeapWrites(insts []x86.Inst) []int { return disasm.SelectHeapWrites(insts) }
+
+// SelectAll selects every instruction (stress-tests limitation L3).
+func SelectAll(insts []x86.Inst) []int { return disasm.SelectAll(insts) }
+
+// SelectAddresses selects the instructions starting at exactly the
+// given virtual addresses (runtime coordinates, i.e. including PIEBase
+// for PIE binaries) — the binary-patching use case, where the patch
+// targets a handful of known locations.
+func SelectAddresses(addrs ...uint64) Selector {
+	want := make(map[uint64]bool, len(addrs))
+	for _, a := range addrs {
+		want[a] = true
+	}
+	return func(insts []x86.Inst) []int {
+		var out []int
+		for i := range insts {
+			if want[insts[i].Addr] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// SelectMatch compiles an E9Tool-style matcher expression into a
+// selector, e.g. "jcc & short", "heapwrite | call",
+// "mnemonic=mov & !memwrite". See the match package for the grammar.
+func SelectMatch(expr string) (Selector, error) {
+	pred, err := match.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return match.Select(pred), nil
+}
+
+// Template builds trampoline code for displaced instructions; see the
+// trampoline package for the built-in templates (Empty, Counter, Raw)
+// and the lowfat package for the hardening check.
+type Template = trampoline.Template
+
+// RawTemplate adapts a code-emitting callback into a trampoline
+// template, for arbitrary binary patches (the paper's Example 3.1).
+// The callback receives the displaced instruction and the resume
+// address (its original successor) and emits the full patch body.
+func RawTemplate(code func(a *x86.Asm, inst *x86.Inst, resume uint64) error) Template {
+	return trampoline.Raw{Code: code}
+}
+
+// Config controls a rewrite.
+type Config struct {
+	// Select picks the patch locations (required).
+	Select Selector
+	// Template builds the patch trampolines (default: empty
+	// instrumentation that re-executes the displaced instruction).
+	Template trampoline.Template
+	// Patch carries tactic switches (DisableT1/T2/T3, B0Fallback, …).
+	// Its Template fields are overridden by Template above.
+	Patch patch.Options
+	// Granularity is the physical-page-grouping block size in pages
+	// (default 1 = most aggressive; <0 disables grouping entirely,
+	// emitting a naïve one-to-one physical image).
+	Granularity int
+	// ReserveVA lists extra [lo, hi) ranges trampolines must avoid
+	// (e.g. runtime-call addresses).
+	ReserveVA [][2]uint64
+	// SkipPrefix disassembles only after the first SkipPrefix bytes of
+	// .text (the paper's ChromeMain workaround for data-in-text).
+	SkipPrefix uint64
+}
+
+// Result is the outcome of a rewrite.
+type Result struct {
+	// Output is the rewritten binary (original bytes + appended blob).
+	Output []byte
+	// Stats are the per-tactic patching statistics (Table 1).
+	Stats patch.Stats
+	// Group reports the physical page grouping outcome.
+	Group group.Stats
+	// Mappings is the number of load-time mmap calls required.
+	Mappings int
+	// InputSize and OutputSize are the file sizes in bytes.
+	InputSize, OutputSize int
+	// Insts is the number of disassembled instructions; BadBytes the
+	// count of undecodable bytes skipped by the linear frontend.
+	Insts, BadBytes int
+	// Bias is the load bias used during patching (PIEBase for PIE).
+	Bias uint64
+	// Trampolines is the number of trampolines emitted.
+	Trampolines int
+	// Locations records the per-location outcome (address in runtime
+	// coordinates and the tactic that succeeded), in patch order.
+	Locations []patch.LocResult
+}
+
+// SizePercent returns the output/input file size ratio in percent
+// (Table 1's Size% column).
+func (r *Result) SizePercent() float64 {
+	return 100 * float64(r.OutputSize) / float64(r.InputSize)
+}
+
+// Rewrite statically rewrites the binary according to cfg. The input
+// slice is not modified.
+func Rewrite(input []byte, cfg Config) (*Result, error) {
+	if cfg.Select == nil {
+		return nil, errors.New("e9patch: Config.Select is required")
+	}
+	if cfg.Template == nil {
+		cfg.Template = trampoline.Empty{}
+	}
+	if cfg.Granularity == 0 {
+		cfg.Granularity = 1
+	}
+
+	// Work on a copy: PatchBytes mutates File.Data.
+	data := make([]byte, len(input))
+	copy(data, input)
+	f, err := elf64.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	var bias uint64
+	if f.IsPIE() {
+		bias = PIEBase
+	}
+
+	text, textAddr, err := f.Text()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SkipPrefix > uint64(len(text)) {
+		return nil, fmt.Errorf("e9patch: SkipPrefix %d exceeds .text size %d", cfg.SkipPrefix, len(text))
+	}
+	rtTextAddr := textAddr + bias
+
+	// The frontend: linear disassembly, locations and sizes only.
+	dres := disasm.Linear(text[cfg.SkipPrefix:], rtTextAddr+cfg.SkipPrefix)
+
+	// Address-space model: all loaded segments are off limits
+	// (page-rounded, since the loader maps whole pages), as are any
+	// caller-reserved ranges.
+	space := va.NewDefault()
+	for _, p := range f.Progs {
+		if p.Type != elf64.PTLoad || p.Memsz == 0 {
+			continue
+		}
+		lo := (p.Vaddr + bias) &^ (elf64.PageSize - 1)
+		hi := (p.Vaddr + bias + p.Memsz + elf64.PageSize - 1) &^ (elf64.PageSize - 1)
+		if err := reserveMerged(space, lo, hi); err != nil {
+			return nil, err
+		}
+	}
+	for _, iv := range cfg.ReserveVA {
+		if err := reserveMerged(space, iv[0], iv[1]); err != nil {
+			return nil, err
+		}
+	}
+	_, loadHi := f.LoadBounds()
+	poolHint := (loadHi + bias + 2*elf64.PageSize) &^ (elf64.PageSize - 1)
+
+	popts := cfg.Patch
+	popts.Template = cfg.Template
+	rw := patch.New(text, rtTextAddr, dres.Insts, space, poolHint, popts)
+	stats := rw.PatchAll(cfg.Select(dres.Insts))
+
+	// Apply the patched text strictly in place.
+	if err := f.PatchBytes(textAddr, rw.Code()); err != nil {
+		return nil, err
+	}
+
+	// Group trampolines into merged physical blocks. Addresses are
+	// stored link-relative so the loader can apply any bias.
+	trs := rw.Trampolines()
+	chunks := make([]group.Chunk, len(trs))
+	for i, tr := range trs {
+		chunks[i] = group.Chunk{Addr: tr.Addr - bias, Data: tr.Code}
+	}
+	gran := cfg.Granularity
+	naive := false
+	if gran < 0 {
+		gran, naive = 1, true
+	}
+	gres, err := group.Build(chunks, gran)
+	if err != nil {
+		return nil, err
+	}
+	if naive {
+		gres = ungroup(gres)
+	}
+
+	sig := make(map[uint64]uint64, len(rw.SigTab()))
+	for k, v := range rw.SigTab() {
+		sig[k-bias] = v - bias
+	}
+	blob := loader.Encode(gres, gran, sig, f.Header.Entry)
+	out := elf64.Append(f.Data, blob)
+
+	return &Result{
+		Output:      out,
+		Stats:       stats,
+		Group:       gres.Stats,
+		Mappings:    gres.Stats.Mappings,
+		InputSize:   len(input),
+		OutputSize:  len(out),
+		Insts:       len(dres.Insts),
+		BadBytes:    dres.BadBytes,
+		Bias:        bias,
+		Trampolines: len(trs),
+		Locations:   rw.Results(),
+	}, nil
+}
+
+// reserveMerged reserves [lo, hi), tolerating overlap with existing
+// reservations (segments may share page-rounded boundaries; broad
+// exclusion zones may span already-reserved runtime regions).
+func reserveMerged(s *va.Space, lo, hi uint64) error {
+	if lo < s.Min() {
+		lo = s.Min()
+	}
+	if hi > s.Max() {
+		hi = s.Max()
+	}
+	cursor := lo
+	for cursor < hi {
+		// Skip any occupied interval covering the cursor.
+		if iv, ok := s.Floor(cursor); ok && iv.Hi > cursor {
+			cursor = iv.Hi
+			continue
+		}
+		gapEnd := hi
+		if next, ok := s.Ceiling(cursor); ok && next.Lo < hi {
+			gapEnd = next.Lo
+		}
+		if gapEnd > cursor {
+			if err := s.Reserve(cursor, gapEnd); err != nil {
+				return err
+			}
+		}
+		cursor = gapEnd
+	}
+	return nil
+}
+
+// ungroup expands a grouped result into the naïve one-to-one physical
+// mapping (grouping disabled, for the §6.1 file-size ablation).
+func ungroup(g *group.Result) *group.Result {
+	out := &group.Result{Stats: g.Stats}
+	for _, mp := range g.Mappings {
+		out.Blocks = append(out.Blocks, g.Blocks[mp.Phys])
+		out.Mappings = append(out.Mappings, group.Mapping{Vaddr: mp.Vaddr, Phys: len(out.Blocks) - 1})
+	}
+	out.Stats.PhysBlocks = len(out.Blocks)
+	return out
+}
+
+// Load builds an executable image from an original or rewritten binary
+// in the given machine, returning the entry point. PIE binaries are
+// loaded at PIEBase.
+func Load(m *emu.Machine, file []byte) (uint64, error) {
+	f, err := elf64.Parse(file)
+	if err != nil {
+		return 0, err
+	}
+	var bias uint64
+	if f.IsPIE() {
+		bias = PIEBase
+	}
+	return loader.BuildImage(m, file, loader.Options{Bias: bias})
+}

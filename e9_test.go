@@ -1,0 +1,315 @@
+package e9patch
+
+import (
+	"testing"
+
+	"e9patch/internal/elf64"
+	"e9patch/internal/emu"
+	"e9patch/internal/patch"
+	"e9patch/internal/trampoline"
+	"e9patch/internal/workload"
+	"e9patch/internal/x86"
+)
+
+func init() { workload.KernelIters = 1500 }
+
+// runBinary loads and executes a binary (original or rewritten) and
+// returns the machine state.
+func runBinary(t *testing.T, bin []byte, bind workload.MallocBinding, prep ...func(m *emu.Machine)) *emu.Machine {
+	t.Helper()
+	m := workload.NewMachine(bind)
+	workload.BindJit(m)
+	for _, p := range prep {
+		p(m)
+	}
+	entry, err := Load(m, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RIP = entry
+	if err := m.Run(500_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// rewriteKernel builds a kernel, rewrites it, and asserts full
+// behavioural equivalence between original and patched runs.
+func assertEquivalent(t *testing.T, arch string, pie bool, cfg Config, prep ...func(m *emu.Machine)) (*emu.Machine, *emu.Machine, *Result) {
+	t.Helper()
+	prog, err := workload.BuildKernel(arch, pie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReserveVA = append(cfg.ReserveVA, workload.ReserveVA()...)
+	res, err := Rewrite(prog.ELF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := runBinary(t, prog.ELF, nil, prep...)
+	patched := runBinary(t, res.Output, nil, prep...)
+
+	if len(orig.Output) != len(patched.Output) {
+		t.Fatalf("%s: output length %d != %d", arch, len(orig.Output), len(patched.Output))
+	}
+	for i := range orig.Output {
+		if orig.Output[i] != patched.Output[i] {
+			t.Fatalf("%s: output[%d] = %#x != %#x", arch, i, patched.Output[i], orig.Output[i])
+		}
+	}
+	if orig.ExitCode != patched.ExitCode {
+		t.Fatalf("%s: exit code %#x != %#x", arch, patched.ExitCode, orig.ExitCode)
+	}
+	if patched.Counters.Cycles < orig.Counters.Cycles {
+		t.Errorf("%s: patched ran faster (%d < %d cycles)?", arch, patched.Counters.Cycles, orig.Counters.Cycles)
+	}
+	return orig, patched, res
+}
+
+func TestDifferentialAllKernelsA1(t *testing.T) {
+	for _, arch := range []string{"branchy", "memstream", "matrix", "pointer", "callheavy"} {
+		t.Run(arch, func(t *testing.T) {
+			_, patched, res := assertEquivalent(t, arch, false, Config{Select: SelectJumps})
+			if res.Stats.Total == 0 {
+				t.Fatal("no jump locations found")
+			}
+			if res.Stats.SuccPercent() < 90 {
+				t.Errorf("A1 coverage %.1f%%", res.Stats.SuccPercent())
+			}
+			if patched.Counters.FarJumps < 2 {
+				t.Error("instrumented run shows no trampoline hops")
+			}
+		})
+	}
+}
+
+func TestDifferentialAllKernelsA2(t *testing.T) {
+	for _, arch := range []string{"branchy", "memstream", "matrix", "pointer", "callheavy"} {
+		t.Run(arch, func(t *testing.T) {
+			_, _, res := assertEquivalent(t, arch, false, Config{Select: SelectHeapWrites})
+			if res.Stats.Total == 0 {
+				t.Fatal("no heap-write locations found")
+			}
+			if res.Stats.SuccPercent() < 90 {
+				t.Errorf("A2 coverage %.1f%%", res.Stats.SuccPercent())
+			}
+		})
+	}
+}
+
+func TestDifferentialPIE(t *testing.T) {
+	orig, _, res := assertEquivalent(t, "branchy", true, Config{Select: SelectHeapWrites})
+	if res.Bias != PIEBase {
+		t.Errorf("bias = %#x", res.Bias)
+	}
+	if orig.ExitCode == 0 {
+		t.Error("degenerate kernel")
+	}
+	// PIE should make the baseline nearly universal.
+	if res.Stats.BasePercent() < 80 {
+		t.Errorf("PIE Base%% = %.2f, expected high", res.Stats.BasePercent())
+	}
+}
+
+func TestDifferentialCounterTemplate(t *testing.T) {
+	// Counter instrumentation must count exactly the executed patched
+	// instructions without changing behaviour.
+	const counterAddr = workload.HeapBase + workload.HeapSize - 0x1000
+	_, patched, res := assertEquivalent(t, "memstream", false, Config{
+		Select:   SelectHeapWrites,
+		Template: trampoline.Counter{Addr: counterAddr},
+	}, func(m *emu.Machine) { m.Mem.Map(counterAddr, 8) })
+	if res.Stats.Patched() == 0 {
+		t.Fatal("nothing patched")
+	}
+	buf, ok := patched.Mem.ReadBytes(counterAddr, 8)
+	if !ok {
+		t.Fatal("counter page unmapped")
+	}
+	var count uint64
+	for i := 7; i >= 0; i-- {
+		count = count<<8 | uint64(buf[i])
+	}
+	if count == 0 {
+		t.Error("counter never incremented")
+	}
+	t.Logf("dynamic heap writes counted: %d", count)
+}
+
+func TestDifferentialB0Fallback(t *testing.T) {
+	// With all tactics disabled, everything becomes int3+SIGTRAP; the
+	// program must still behave identically, at enormous cost.
+	orig, patched, res := assertEquivalent(t, "branchy", false, Config{
+		Select: SelectJumps,
+		Patch: patch.Options{
+			DisableT1: true, DisableT2: true, DisableT3: true,
+			B0Fallback: true,
+		},
+	})
+	if res.Stats.ByTactic[patch.TacticB0] == 0 {
+		t.Skip("no B0 fallbacks triggered in this build")
+	}
+	if patched.Counters.Signals == 0 {
+		t.Error("no signals dispatched")
+	}
+	ratio := float64(patched.Counters.Cycles) / float64(orig.Counters.Cycles)
+	if ratio < 3 {
+		t.Errorf("B0 overhead ratio %.1f, expected orders of magnitude", ratio)
+	}
+}
+
+func TestDifferentialGranularity(t *testing.T) {
+	// Coarser grouping must not change behaviour, only the mapping
+	// count and physical size.
+	_, _, res1 := assertEquivalent(t, "pointer", false, Config{Select: SelectJumps, Granularity: 1})
+	_, _, res16 := assertEquivalent(t, "pointer", false, Config{Select: SelectJumps, Granularity: 16})
+	if res16.Mappings > res1.Mappings {
+		t.Errorf("mappings grew with coarser granularity: %d > %d", res16.Mappings, res1.Mappings)
+	}
+	if res16.Group.PhysBytes() < res1.Group.PhysBytes() {
+		t.Errorf("physical bytes shrank with coarser granularity")
+	}
+}
+
+func TestDifferentialNaiveGrouping(t *testing.T) {
+	// Grouping disabled: identical behaviour, larger file.
+	_, _, grouped := assertEquivalent(t, "branchy", false, Config{Select: SelectJumps, Granularity: 1})
+	_, _, naive := assertEquivalent(t, "branchy", false, Config{Select: SelectJumps, Granularity: -1})
+	if naive.OutputSize < grouped.OutputSize {
+		t.Errorf("naive file (%d) smaller than grouped (%d)", naive.OutputSize, grouped.OutputSize)
+	}
+}
+
+func TestDromaeoDifferential(t *testing.T) {
+	for _, s := range workload.DromaeoSuites[:4] {
+		prog, err := workload.BuildDromaeo(s, true, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Rewrite(prog.ELF, Config{
+			Select:    SelectHeapWrites,
+			ReserveVA: workload.ReserveVA(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := runBinary(t, prog.ELF, nil)
+		patched := runBinary(t, res.Output, nil)
+		if orig.Output[0] != patched.Output[0] {
+			t.Fatalf("%s: checksum mismatch", s.Name)
+		}
+	}
+}
+
+// TestJumpTargetPreservation is the paper's core guarantee: indirect
+// control flow to any original instruction address must still work
+// after patching — even when the target instruction was itself patched
+// or evicted.
+func TestJumpTargetPreservation(t *testing.T) {
+	const base = 0x401000
+	a := x86.NewAsm(base)
+
+	over := a.NewLabel()
+	a.Jmp(over)
+
+	// Three tiny functions, each beginning with a heap write (an A2
+	// patch site at the exact address stored in the function table).
+	var fns []*x86.Label
+	for i := 0; i < 3; i++ {
+		fn := a.NewLabel()
+		a.Bind(fn)
+		a.MovMemReg64(x86.M(x86.RBX, int32(8*i)), x86.RCX) // patch site
+		a.AddRegImm64(x86.RCX, int32(i+1))
+		a.Ret()
+		fns = append(fns, fn)
+	}
+	_ = fns
+
+	a.Bind(over)
+	a.MovRegImm64(x86.RBX, workload.HeapBase)
+	a.MovRegImm32(x86.RDI, 64)
+	a.MovRegImm64(x86.R11, workload.RTMalloc)
+	a.CallReg(x86.R11)
+	a.MovRegReg64(x86.RBX, x86.RAX)
+	a.MovRegImm32(x86.RCX, 1)
+	// Call each function indirectly through a register (the function
+	// addresses are jump targets the rewriter must preserve).
+	for i := 0; i < 3; i++ {
+		a.MovRegImm64(x86.RDX, 0) // placeholder, patched below
+		a.CallReg(x86.RDX)
+	}
+	a.MovRegReg64(x86.RDI, x86.RCX)
+	a.MovRegImm64(x86.R11, workload.RTOutput)
+	a.CallReg(x86.R11)
+	a.Ret()
+
+	code := a.MustFinish()
+
+	// Fill the movabs placeholders with the actual function addresses.
+	fnAddrs := findFnAddrs(t, code, base, 3)
+	patched := 0
+	for off := 0; off+10 <= len(code); off++ {
+		if code[off] == 0x48 && code[off+1] == 0xBA { // movabs rdx, imm64
+			v := uint64(0)
+			for b := 0; b < 8; b++ {
+				v |= uint64(code[off+2+b]) << (8 * uint(b))
+			}
+			if v == 0 && patched < 3 {
+				addr := fnAddrs[patched]
+				for b := 0; b < 8; b++ {
+					code[off+2+b] = byte(addr >> (8 * uint(b)))
+				}
+				patched++
+			}
+		}
+	}
+	if patched != 3 {
+		t.Fatalf("patched %d movabs placeholders", patched)
+	}
+
+	prog, err := buildTestELF(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rewrite(prog, Config{Select: SelectHeapWrites, ReserveVA: workload.ReserveVA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Patched() == 0 {
+		t.Fatal("function-entry patch sites were not patched")
+	}
+	orig := runBinary(t, prog, nil)
+	after := runBinary(t, res.Output, nil)
+	if orig.Output[0] != after.Output[0] {
+		t.Fatalf("indirect calls broke: %v vs %v", orig.Output, after.Output)
+	}
+	if orig.Output[0] != 1+1+2+3 {
+		t.Fatalf("unexpected baseline output %v", orig.Output)
+	}
+}
+
+// findFnAddrs locates the three `mov [rbx+8i], rcx` function entries.
+func findFnAddrs(t *testing.T, code []byte, base uint64, n int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for off := 0; off+4 <= len(code) && len(out) < n; off++ {
+		// 48 89 0B / 48 89 4B 08 / 48 89 4B 10 (mov [rbx+d], rcx)
+		if code[off] == 0x48 && code[off+1] == 0x89 &&
+			(code[off+2] == 0x0B || code[off+2] == 0x4B) {
+			out = append(out, base+uint64(off))
+		}
+	}
+	if len(out) != n {
+		t.Fatalf("found %d function entries, want %d", len(out), n)
+	}
+	return out
+}
+
+func buildTestELF(text []byte) ([]byte, error) {
+	return elf64.Build(elf64.BuildSpec{
+		Text:     text,
+		EntryOff: 0,
+		Data:     make([]byte, 64),
+		BSSSize:  0x1000,
+	})
+}

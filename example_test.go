@@ -1,0 +1,76 @@
+package e9patch_test
+
+import (
+	"fmt"
+	"log"
+
+	"e9patch"
+	"e9patch/internal/workload"
+)
+
+// ExampleRewrite instruments every heap-write instruction of a binary
+// with the empty instrumentation and reports the tactic coverage.
+func ExampleRewrite() {
+	prog, err := workload.BuildKernel("memstream", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := e9patch.Rewrite(prog.ELF, e9patch.Config{
+		Select:    e9patch.SelectHeapWrites,
+		ReserveVA: workload.ReserveVA(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage %.0f%%, every byte of the original preserved or patched in place\n",
+		res.Stats.SuccPercent())
+	// Output: coverage 100%, every byte of the original preserved or patched in place
+}
+
+// ExampleSelectMatch selects patch points with an E9Tool-style
+// expression instead of a hand-written selector.
+func ExampleSelectMatch() {
+	sel, err := e9patch.SelectMatch("jcc & short")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := workload.BuildKernel("branchy", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := e9patch.Rewrite(prog.ELF, e9patch.Config{
+		Select:    sel,
+		ReserveVA: workload.ReserveVA(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matched %d short conditional jumps\n", res.Stats.Total)
+	// Output: matched 1 short conditional jumps
+}
+
+// ExampleLoad runs a rewritten binary in the bundled emulator.
+func ExampleLoad() {
+	prog, err := workload.BuildKernel("pointer", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := e9patch.Rewrite(prog.ELF, e9patch.Config{
+		Select:    e9patch.SelectJumps,
+		ReserveVA: workload.ReserveVA(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := workload.NewMachine(nil)
+	entry, err := e9patch.Load(m, res.Output)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.RIP = entry
+	if err := m.Run(500_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("halted after emitting %d output value(s)\n", len(m.Output))
+	// Output: halted after emitting 1 output value(s)
+}

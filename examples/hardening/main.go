@@ -1,0 +1,114 @@
+// Binary heap-write hardening (the paper's §6.3): instrument every
+// heap-write instruction with a low-fat-pointer redzone check
+// (p − base(p) >= 16) and swap the allocator for the low-fat runtime —
+// all at the binary level, with no source code and no control-flow
+// recovery.
+//
+// The demo program contains both correct writes and two spatial memory
+// errors (an underflow into the object's own redzone and an overflow
+// into the next object's redzone). The hardened binary detects exactly
+// the bad writes while leaving behaviour otherwise unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e9patch"
+	"e9patch/internal/elf64"
+	"e9patch/internal/emu"
+	"e9patch/internal/lowfat"
+	"e9patch/internal/workload"
+	"e9patch/internal/x86"
+)
+
+// buildBuggy assembles a program that makes legitimate writes to a
+// 64-byte heap object plus one underflow and one overflow write.
+func buildBuggy() ([]byte, error) {
+	const base = elf64.DefaultBase + elf64.TextVaddrOff
+	a := x86.NewAsm(base)
+
+	// p = malloc(64)
+	a.MovRegImm32(x86.RDI, 64)
+	a.MovRegImm64(x86.R11, workload.RTMalloc)
+	a.CallReg(x86.R11)
+	a.MovRegReg64(x86.RBX, x86.RAX)
+
+	// Legitimate writes: p[0..7], p[56..63].
+	a.MovRegImm32(x86.RAX, 0x1111)
+	a.MovMemReg64(x86.M(x86.RBX, 0), x86.RAX)
+	a.MovMemReg64(x86.M(x86.RBX, 56), x86.RAX)
+
+	// BUG 1: underflow — write into the object's own redzone.
+	a.MovMemReg64(x86.M(x86.RBX, -8), x86.RAX)
+
+	// BUG 2: overflow — write past the object into the next slot's
+	// redzone (class size for 64+16 is 128 bytes).
+	a.MovMemReg64(x86.M(x86.RBX, 128-16), x86.RAX)
+
+	// Output a checksum so we can verify behaviour is unchanged.
+	a.MovRegMem64(x86.RDI, x86.M(x86.RBX, 0))
+	a.AddRegMem64(x86.RDI, x86.M(x86.RBX, 56))
+	a.MovRegImm64(x86.R11, workload.RTOutput)
+	a.CallReg(x86.R11)
+	a.Ret()
+
+	text, err := a.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return elf64.Build(elf64.BuildSpec{Text: text, Data: make([]byte, 64), BSSSize: 0x1000})
+}
+
+func run(bin []byte, hardenedHeap bool) *emu.Machine {
+	m := workload.NewMachine(func(m *emu.Machine) {
+		if hardenedHeap {
+			lowfat.Install(m, workload.RTMalloc, workload.RTFree)
+		} else {
+			workload.BindStandard(m)
+		}
+	})
+	entry, err := e9patch.Load(m, bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.RIP = entry
+	if err := m.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	bin, err := buildBuggy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plain := run(bin, false)
+	fmt.Printf("unhardened run: output %v — the two bad writes corrupt silently\n", plain.Output)
+
+	// Harden: A2 selector + the low-fat redzone check template.
+	res, err := e9patch.Rewrite(bin, e9patch.Config{
+		Select:    e9patch.SelectHeapWrites,
+		Template:  lowfat.CheckTemplate{},
+		ReserveVA: append(workload.ReserveVA(), lowfat.ReserveVA()...),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hardened %d/%d heap-write sites (%.2f%% coverage)\n",
+		res.Stats.Patched(), res.Stats.Total, res.Stats.SuccPercent())
+
+	hardened := run(res.Output, true)
+	fmt.Printf("hardened run:   output %v, redzone violations detected: %d\n",
+		hardened.Output, lowfat.Violations(hardened))
+
+	if plain.Output[0] != hardened.Output[0] {
+		log.Fatal("hardening changed program behaviour")
+	}
+	if got := lowfat.Violations(hardened); got != 2 {
+		log.Fatalf("expected exactly 2 violations (underflow + overflow), got %d", got)
+	}
+	fmt.Println("\nexactly the two spatial memory errors detected; behaviour preserved ✓")
+}

@@ -1,0 +1,61 @@
+// Dynamic branch tracing: instrument every jmp/jcc (application A1)
+// with a counter trampoline — the control-flow-agnostic analogue of
+// basic-block counting that the paper uses as its instrumentation
+// benchmark. The counter lives in the program's address space and is
+// incremented by real emitted x86 (pushfq/movabs/add/popfq), so the
+// instrumentation is visible in the cycle counts too.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e9patch"
+	"e9patch/internal/trampoline"
+	"e9patch/internal/workload"
+)
+
+// counterAddr must be outside the binary and its heap; we reserve it
+// during rewriting and map it before running.
+const counterAddr = 0x3_0000_0000
+
+func main() {
+	for _, arch := range []string{"branchy", "matrix", "callheavy"} {
+		prog, err := workload.BuildKernel(arch, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := e9patch.Rewrite(prog.ELF, e9patch.Config{
+			Select:   e9patch.SelectJumps,
+			Template: trampoline.Counter{Addr: counterAddr},
+			ReserveVA: append(workload.ReserveVA(),
+				[2]uint64{counterAddr &^ 0xFFF, (counterAddr + 0x1000) &^ 0xFFF}),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		m := workload.NewMachine(nil)
+		m.Mem.Map(counterAddr, 8)
+		entry, err := e9patch.Load(m, res.Output)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.RIP = entry
+		if err := m.Run(500_000_000); err != nil {
+			log.Fatal(err)
+		}
+
+		buf, _ := m.Mem.ReadBytes(counterAddr, 8)
+		var count uint64
+		for i := 7; i >= 0; i-- {
+			count = count<<8 | uint64(buf[i])
+		}
+		fmt.Printf("%-10s %6d static jump sites patched (%.1f%% coverage) | %9d dynamic branch executions | %d instructions retired\n",
+			arch, res.Stats.Patched(), res.Stats.SuccPercent(), count, m.Counters.Instructions)
+		if count == 0 {
+			log.Fatal("tracing counter never fired")
+		}
+	}
+	fmt.Println("\nbranch tracing via static rewriting ✓")
+}

@@ -1,0 +1,3 @@
+module e9patch
+
+go 1.22

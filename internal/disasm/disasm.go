@@ -1,0 +1,76 @@
+// Package disasm is the "basic wrapper frontend" from the paper: it
+// applies linear disassembly to a code section and selects patch
+// locations for the evaluation applications (A1: jump instructions,
+// A2: heap-write instructions).
+//
+// E9Patch proper consumes only instruction locations and sizes; this
+// package produces exactly that, and nothing control-flow related.
+package disasm
+
+import (
+	"e9patch/internal/x86"
+)
+
+// Result is the outcome of linear disassembly.
+type Result struct {
+	// Insts are the decoded instructions in address order.
+	Insts []x86.Inst
+	// BadBytes counts bytes that did not decode (embedded data,
+	// unsupported encodings); each is skipped individually, exactly
+	// like a linear sweep over a .text section containing data.
+	BadBytes int
+}
+
+// Linear decodes code (loaded at addr) from the start, instruction by
+// instruction, skipping undecodable bytes one at a time.
+func Linear(code []byte, addr uint64) Result {
+	var res Result
+	for off := 0; off < len(code); {
+		inst, err := x86.Decode(code[off:], addr+uint64(off))
+		if err != nil {
+			res.BadBytes++
+			off++
+			continue
+		}
+		res.Insts = append(res.Insts, inst)
+		off += inst.Len
+	}
+	return res
+}
+
+// SelectJumps returns the indices of all jmp/jcc instructions: the
+// paper's application A1 (a control-flow-free analogue of basic-block
+// counting).
+func SelectJumps(insts []x86.Inst) []int {
+	var out []int
+	for i := range insts {
+		in := &insts[i]
+		if in.IsJmp() || in.IsJcc() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectHeapWrites returns the indices of all instructions that may
+// write through a heap pointer (memory-destination operands excluding
+// %rsp-based and %rip-relative): the paper's application A2.
+func SelectHeapWrites(insts []x86.Inst) []int {
+	var out []int
+	for i := range insts {
+		if insts[i].IsHeapWrite() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectAll returns every instruction index (the stress case for the
+// paper's limitation L3).
+func SelectAll(insts []x86.Inst) []int {
+	out := make([]int, len(insts))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

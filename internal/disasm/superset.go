@@ -1,0 +1,150 @@
+package disasm
+
+import (
+	"e9patch/internal/x86"
+)
+
+// Superset disassembly (Bauman et al., NDSS'18 — cited by the paper as
+// an alternative frontend): decode at *every* byte offset and keep all
+// valid instructions. Because E9Patch's patching is local and needs no
+// control-flow facts, a superset frontend lets it patch binaries whose
+// real instruction boundaries are unknown — the patcher simply receives
+// more candidate locations, and the caller filters.
+//
+// This implementation also computes the classic refinement: an
+// instruction "survives" if following fall-through and direct-branch
+// successors never reaches an invalid decode inside the section. That
+// prunes most of the byte-misaligned junk while keeping every true
+// instruction (a superset of the real disassembly by construction).
+
+// SupersetResult is the outcome of superset disassembly.
+type SupersetResult struct {
+	// Insts holds one entry per section offset that decodes; index by
+	// offset via ByOffset.
+	Insts []x86.Inst
+	// ByOffset maps section offsets to indices into Insts (-1: the
+	// offset does not decode).
+	ByOffset []int
+	// Valid[i] reports whether Insts[i] survives the closure
+	// refinement (never reaches an invalid decode).
+	Valid []bool
+}
+
+// Superset decodes at every offset of code (loaded at addr).
+func Superset(code []byte, addr uint64) *SupersetResult {
+	res := &SupersetResult{
+		ByOffset: make([]int, len(code)),
+	}
+	for off := range code {
+		res.ByOffset[off] = -1
+	}
+	for off := 0; off < len(code); off++ {
+		inst, err := x86.Decode(code[off:], addr+uint64(off))
+		if err != nil {
+			continue
+		}
+		res.ByOffset[off] = len(res.Insts)
+		res.Insts = append(res.Insts, inst)
+	}
+	res.refine(code, addr)
+	return res
+}
+
+// refine computes the valid set: an instruction is invalid if its
+// fall-through (or a direct branch target inside the section) lands on
+// an offset that does not decode and is inside the section. The
+// computation is a reverse fixpoint over the successor graph.
+func (r *SupersetResult) refine(code []byte, addr uint64) {
+	n := len(r.Insts)
+	r.Valid = make([]bool, n)
+	// state: 0 = unknown, 1 = valid, 2 = invalid.
+	state := make([]uint8, n)
+
+	inSection := func(a uint64) bool {
+		return a >= addr && a < addr+uint64(len(code))
+	}
+	// succs returns the instruction's successor offsets within the
+	// section, and whether any successor is a hard invalid.
+	succs := func(i int) (out []int, bad bool) {
+		in := &r.Insts[i]
+		// Fall-through (unless the instruction never falls through).
+		if in.Attrs&x86.AttrStop == 0 {
+			ft := in.Addr + uint64(in.Len)
+			if inSection(ft) {
+				out = append(out, int(ft-addr))
+			}
+			// Falling off the end of the section is treated as
+			// unknown-but-acceptable (the section may continue into
+			// another).
+		}
+		// Direct branch target.
+		if in.RelSize != 0 {
+			t := in.Target()
+			if inSection(t) {
+				out = append(out, int(t-addr))
+			} else if in.Attrs&(x86.AttrJump|x86.AttrCondJump) != 0 {
+				// Branch to outside the section: acceptable
+				// (PLT/other sections) — not evidence of invalidity.
+				_ = t
+			}
+		}
+		for _, o := range out {
+			if r.ByOffset[o] == -1 {
+				return out, true
+			}
+		}
+		return out, false
+	}
+
+	// Iterate to fixpoint: mark invalid anything that must reach an
+	// invalid decode.
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if state[i] == 2 {
+				continue
+			}
+			ss, bad := succs(i)
+			if bad {
+				if state[i] != 2 {
+					state[i] = 2
+					changed = true
+				}
+				continue
+			}
+			for _, o := range ss {
+				if state[r.ByOffset[o]] == 2 {
+					state[i] = 2
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.Valid[i] = state[i] != 2
+	}
+}
+
+// ValidInsts returns the surviving instructions in address order.
+func (r *SupersetResult) ValidInsts() []x86.Inst {
+	var out []x86.Inst
+	for i := range r.Insts {
+		if r.Valid[i] {
+			out = append(out, r.Insts[i])
+		}
+	}
+	return out
+}
+
+// Count returns (decoded, surviving) instruction counts.
+func (r *SupersetResult) Count() (decoded, valid int) {
+	decoded = len(r.Insts)
+	for _, v := range r.Valid {
+		if v {
+			valid++
+		}
+	}
+	return
+}

@@ -1,0 +1,178 @@
+package elf64
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BuildSpec describes a synthetic executable or shared object to build.
+type BuildSpec struct {
+	// PIE selects ET_DYN with a zero link base; otherwise ET_EXEC at
+	// Base (default 0x400000).
+	PIE bool
+	// Base is the link base address for non-PIE binaries.
+	Base uint64
+	// Text is the .text machine code.
+	Text []byte
+	// EntryOff is the entry point offset within .text.
+	EntryOff uint64
+	// Data is the initialised .data contents.
+	Data []byte
+	// BSSSize is the size of the zero-initialised .bss after .data.
+	BSSSize uint64
+}
+
+// DefaultBase is the traditional ld non-PIE link base.
+const DefaultBase = 0x400000
+
+// TextVaddrOff is the offset of .text above the link base.
+const TextVaddrOff = PageSize
+
+// Build assembles a minimal static ELF64 binary: headers, an RX text
+// segment, an RW data segment with optional .bss, section headers and
+// a section-name string table.
+func Build(spec BuildSpec) ([]byte, error) {
+	if len(spec.Text) == 0 {
+		return nil, errors.New("elf64: empty .text")
+	}
+	if spec.EntryOff >= uint64(len(spec.Text)) {
+		return nil, fmt.Errorf("elf64: entry offset %#x outside .text", spec.EntryOff)
+	}
+	base := spec.Base
+	if spec.PIE {
+		base = 0
+	} else if base == 0 {
+		base = DefaultBase
+	}
+
+	textOff := uint64(PageSize)
+	textAddr := base + TextVaddrOff
+	textEnd := textOff + uint64(len(spec.Text))
+
+	dataOff := alignUp(textEnd, PageSize)
+	dataAddr := base + dataOff
+	dataEnd := dataOff + uint64(len(spec.Data))
+
+	strtab := []byte("\x00.text\x00.data\x00.bss\x00.shstrtab\x00")
+	nameText := uint32(1)
+	nameData := uint32(7)
+	nameBSS := uint32(13)
+	nameShstr := uint32(18)
+
+	strtabOff := alignUp(dataEnd, 16)
+	shOff := alignUp(strtabOff+uint64(len(strtab)), 8)
+
+	const shNum = 5
+	total := shOff + shNum*shdrSize
+	out := make([]byte, total)
+
+	fileType := uint16(TypeExec)
+	if spec.PIE {
+		fileType = TypeDyn
+	}
+
+	progs := []Prog{
+		{
+			Type: PTLoad, Flags: PFR | PFX,
+			Off: 0, Vaddr: base, Paddr: base,
+			Filesz: textEnd, Memsz: textEnd, Align: PageSize,
+		},
+		{
+			Type: PTLoad, Flags: PFR | PFW,
+			Off: dataOff, Vaddr: dataAddr, Paddr: dataAddr,
+			Filesz: uint64(len(spec.Data)),
+			Memsz:  uint64(len(spec.Data)) + spec.BSSSize,
+			Align:  PageSize,
+		},
+		{Type: PTGnuStack, Flags: PFR | PFW, Align: 16},
+	}
+
+	h := Header{
+		Type:     fileType,
+		Machine:  MachineX86_64,
+		Entry:    textAddr + spec.EntryOff,
+		PhOff:    ehdrSize,
+		ShOff:    shOff,
+		PhNum:    uint16(len(progs)),
+		ShNum:    shNum,
+		ShStrNdx: 4,
+	}
+	writeEhdr(out, &h)
+	for i := range progs {
+		writePhdr(out[ehdrSize+uint64(i)*phdrSize:], &progs[i])
+	}
+	copy(out[textOff:], spec.Text)
+	copy(out[dataOff:], spec.Data)
+	copy(out[strtabOff:], strtab)
+
+	sections := []Section{
+		{}, // SHT_NULL
+		{
+			NameOff: nameText, Type: SHTProgbits,
+			Flags: SHFAlloc | SHFExecinstr,
+			Addr:  textAddr, Off: textOff, Size: uint64(len(spec.Text)),
+			Addralign: 16,
+		},
+		{
+			NameOff: nameData, Type: SHTProgbits,
+			Flags: SHFAlloc | SHFWrite,
+			Addr:  dataAddr, Off: dataOff, Size: uint64(len(spec.Data)),
+			Addralign: 8,
+		},
+		{
+			NameOff: nameBSS, Type: SHTNobits,
+			Flags: SHFAlloc | SHFWrite,
+			Addr:  dataAddr + uint64(len(spec.Data)),
+			Off:   dataEnd, Size: spec.BSSSize,
+			Addralign: 32,
+		},
+		{
+			NameOff: nameShstr, Type: SHTStrtab,
+			Off: strtabOff, Size: uint64(len(strtab)),
+			Addralign: 1,
+		},
+	}
+	for i := range sections {
+		writeShdr(out[shOff+uint64(i)*shdrSize:], &sections[i])
+	}
+	return out, nil
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// Trailer marks data appended to a rewritten binary. The rewriter
+// appends new content strictly at end-of-file (never moving existing
+// bytes) and finishes with a 24-byte trailer so the loader can locate
+// the appended region.
+const trailerMagic = "E9PGLD64"
+
+// Append returns file extended with blob at a page-aligned offset,
+// followed by a locating trailer. The original bytes are unchanged.
+func Append(file, blob []byte) []byte {
+	off := alignUp(uint64(len(file)), PageSize)
+	out := make([]byte, off+uint64(len(blob))+24)
+	copy(out, file)
+	copy(out[off:], blob)
+	tr := out[off+uint64(len(blob)):]
+	copy(tr, trailerMagic)
+	le.PutUint64(tr[8:], off)
+	le.PutUint64(tr[16:], uint64(len(blob)))
+	return out
+}
+
+// AppendedBlob extracts the blob attached by Append, if present.
+func AppendedBlob(file []byte) ([]byte, bool) {
+	if len(file) < 24 {
+		return nil, false
+	}
+	tr := file[len(file)-24:]
+	if string(tr[:8]) != trailerMagic {
+		return nil, false
+	}
+	off := le.Uint64(tr[8:])
+	size := le.Uint64(tr[16:])
+	if off+size+24 != uint64(len(file)) {
+		return nil, false
+	}
+	return file[off : off+size], true
+}

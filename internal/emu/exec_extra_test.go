@@ -1,0 +1,232 @@
+package emu
+
+import (
+	"testing"
+
+	"e9patch/internal/x86"
+)
+
+// rawProgram loads raw machine code and runs it to completion.
+func rawProgram(t *testing.T, code []byte) *Machine {
+	t.Helper()
+	m := NewMachine()
+	m.Mem.WriteBytes(testBase, code)
+	m.SetupStack(stackTop, 0x10000)
+	m.Mem.Map(heapBase, 0x2000)
+	m.RIP = testBase
+	if err := m.Run(10000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestCmovcc(t *testing.T) {
+	// cmovl rax, rbx taken and not taken.
+	for _, tc := range []struct {
+		a, b uint64
+		want uint64
+	}{
+		{5, 10, 99}, // 5 < 10: cmov taken
+		{10, 5, 1},  // not taken: rax keeps value
+	} {
+		a := x86.NewAsm(testBase)
+		a.MovRegImm64(x86.RCX, tc.a)
+		a.MovRegImm64(x86.RDX, tc.b)
+		a.MovRegImm64(x86.RAX, 1)
+		a.MovRegImm64(x86.RBX, 99)
+		a.CmpRegReg64(x86.RCX, x86.RDX)
+		// cmovl rax, rbx = 48 0F 4C C3
+		a.Raw(0x48, 0x0F, 0x4C, 0xC3)
+		a.Ret()
+		m := rawProgram(t, a.MustFinish())
+		if m.ExitCode != tc.want {
+			t.Errorf("cmovl with %d,%d: rax=%d want %d", tc.a, tc.b, m.ExitCode, tc.want)
+		}
+	}
+}
+
+func TestSetcc(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RCX, 7)
+	a.CmpRegImm64(x86.RCX, 7)
+	a.XorRegReg32(x86.RAX, x86.RAX)
+	a.Raw(0x0F, 0x94, 0xC0) // sete al
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 1 {
+		t.Errorf("sete: rax=%d", m.ExitCode)
+	}
+}
+
+func TestXchg(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RAX, 11)
+	a.MovRegImm64(x86.RBX, 22)
+	a.Raw(0x48, 0x87, 0xD8) // xchg rax, rbx
+	a.ShlRegImm64(x86.RAX, 8)
+	a.AddRegReg64(x86.RAX, x86.RBX)
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 22<<8|11 {
+		t.Errorf("xchg: %#x", m.ExitCode)
+	}
+}
+
+func TestDivMul(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RAX, 1000)
+	a.MovRegImm64(x86.RCX, 7)
+	a.XorRegReg32(x86.RDX, x86.RDX)
+	a.Raw(0x48, 0xF7, 0xF1) // div rcx -> rax=142 rdx=6
+	a.ShlRegImm64(x86.RAX, 8)
+	a.AddRegReg64(x86.RAX, x86.RDX)
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 142<<8|6 {
+		t.Errorf("div: %#x", m.ExitCode)
+	}
+
+	// mul rcx: rdx:rax = rax * rcx with large operands.
+	a2 := x86.NewAsm(testBase)
+	a2.MovRegImm64(x86.RAX, 1<<40)
+	a2.MovRegImm64(x86.RCX, 1<<30)
+	a2.Raw(0x48, 0xF7, 0xE1)         // mul rcx
+	a2.MovRegReg64(x86.RAX, x86.RDX) // high half = 1<<(70-64) = 64
+	a2.Ret()
+	m2 := rawProgram(t, a2.MustFinish())
+	if m2.ExitCode != 64 {
+		t.Errorf("mul high: %d", m2.ExitCode)
+	}
+}
+
+func TestCdqeCqo(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.MovRegImm32(x86.RAX, 0xFFFFFFFF) // eax = -1 (32-bit)
+	a.Raw(0x48, 0x98)                  // cdqe: rax = sign-extend(eax)
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != ^uint64(0) {
+		t.Errorf("cdqe: %#x", m.ExitCode)
+	}
+
+	a2 := x86.NewAsm(testBase)
+	a2.MovRegImm64(x86.RAX, ^uint64(0)) // -1
+	a2.Raw(0x48, 0x99)                  // cqo: rdx = -1
+	a2.MovRegReg64(x86.RAX, x86.RDX)
+	a2.Ret()
+	m2 := rawProgram(t, a2.MustFinish())
+	if m2.ExitCode != ^uint64(0) {
+		t.Errorf("cqo: %#x", m2.ExitCode)
+	}
+}
+
+func TestMovsxMovzx16(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RBX, heapBase)
+	a.MovMemImm32(x86.M(x86.RBX, 0), 0xFFFF8001)
+	a.Raw(0x48, 0x0F, 0xBF, 0x03) // movsx rax, word [rbx] = -32767
+	a.NegReg64(x86.RAX)
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 32767 {
+		t.Errorf("movsx16: %d", m.ExitCode)
+	}
+}
+
+func TestLeave(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.PushReg(x86.RBP)
+	a.MovRegReg64(x86.RBP, x86.RSP)
+	a.SubRegImm64(x86.RSP, 64) // frame
+	a.MovRegImm64(x86.RAX, 5)
+	a.Raw(0xC9) // leave
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 5 {
+		t.Errorf("leave: %d", m.ExitCode)
+	}
+	if m.Regs[x86.RSP] != stackTop-8+8 {
+		t.Errorf("rsp after leave/ret: %#x", m.Regs[x86.RSP])
+	}
+}
+
+func TestShiftVariants(t *testing.T) {
+	// sar on a negative number.
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RAX, ^uint64(0)-0xFF) // -256
+	a.Raw(0x48, 0xC1, 0xF8, 0x04)           // sar rax, 4 -> -16
+	a.NegReg64(x86.RAX)
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 16 {
+		t.Errorf("sar: %d", m.ExitCode)
+	}
+
+	// rol/ror round trip.
+	a2 := x86.NewAsm(testBase)
+	a2.MovRegImm64(x86.RAX, 0x1234_5678_9ABC_DEF0)
+	a2.Raw(0x48, 0xC1, 0xC0, 0x10) // rol rax, 16
+	a2.Raw(0x48, 0xC1, 0xC8, 0x10) // ror rax, 16
+	a2.Ret()
+	m2 := rawProgram(t, a2.MustFinish())
+	if m2.ExitCode != 0x1234_5678_9ABC_DEF0 {
+		t.Errorf("rol/ror: %#x", m2.ExitCode)
+	}
+
+	// shr by cl.
+	a3 := x86.NewAsm(testBase)
+	a3.MovRegImm64(x86.RAX, 1<<20)
+	a3.MovRegImm32(x86.RCX, 10)
+	a3.ShrRegCL64(x86.RAX)
+	a3.Ret()
+	m3 := rawProgram(t, a3.MustFinish())
+	if m3.ExitCode != 1<<10 {
+		t.Errorf("shr cl: %#x", m3.ExitCode)
+	}
+}
+
+func TestAdcSbb(t *testing.T) {
+	// 128-bit add via adc.
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RAX, ^uint64(0)) // lo a
+	a.MovRegImm64(x86.RBX, 1)          // lo b
+	a.MovRegImm64(x86.RCX, 2)          // hi a
+	a.MovRegImm64(x86.RDX, 3)          // hi b
+	a.AddRegReg64(x86.RAX, x86.RBX)    // sets CF
+	a.Raw(0x48, 0x11, 0xD1)            // adc rcx, rdx -> 2+3+1 = 6
+	a.MovRegReg64(x86.RAX, x86.RCX)
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 6 {
+		t.Errorf("adc: %d", m.ExitCode)
+	}
+}
+
+func TestIncDecPreserveCF(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RAX, ^uint64(0))
+	a.AddRegImm64(x86.RAX, 1) // CF=1
+	a.MovRegImm64(x86.RBX, 5)
+	a.Raw(0x48, 0xFF, 0xC3) // inc rbx (must keep CF)
+	a.MovRegImm32(x86.RAX, 0)
+	a.Raw(0x48, 0x11, 0xC0) // adc rax, rax -> CF(1)
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 1 {
+		t.Errorf("inc clobbered CF: rax=%d", m.ExitCode)
+	}
+}
+
+func TestPushPopRM(t *testing.T) {
+	a := x86.NewAsm(testBase)
+	a.MovRegImm64(x86.RBX, heapBase)
+	a.MovMemImm32Sx64(x86.M(x86.RBX, 0), 0x77)
+	a.Raw(0xFF, 0x33)       // push qword [rbx]
+	a.Raw(0x8F, 0x43, 0x08) // pop qword [rbx+8]
+	a.MovRegMem64(x86.RAX, x86.M(x86.RBX, 8))
+	a.Ret()
+	m := rawProgram(t, a.MustFinish())
+	if m.ExitCode != 0x77 {
+		t.Errorf("push/pop r/m: %#x", m.ExitCode)
+	}
+}

@@ -1,0 +1,147 @@
+package emu
+
+import (
+	"math/bits"
+
+	"e9patch/internal/x86"
+)
+
+// setFlag sets or clears one RFLAGS bit.
+func (m *Machine) setFlag(bit uint64, on bool) {
+	if on {
+		m.Flags |= bit
+	} else {
+		m.Flags &^= bit
+	}
+}
+
+// flagBit returns 1 if the flag is set, else 0.
+func (m *Machine) flagBit(bit uint64) uint64 {
+	if m.Flags&bit != 0 {
+		return 1
+	}
+	return 0
+}
+
+// setResultFlags updates ZF, SF and PF from a (masked) result.
+func (m *Machine) setResultFlags(res uint64, w int) {
+	res &= maskFor(w)
+	m.setFlag(FlagZF, res == 0)
+	m.setFlag(FlagSF, res>>(8*uint(w)-1)&1 == 1)
+	m.setFlag(FlagPF, bits.OnesCount8(uint8(res))%2 == 0)
+}
+
+// setLogicFlags is setResultFlags plus CF=OF=0 (and/or/xor/test).
+func (m *Machine) setLogicFlags(res uint64, w int) {
+	m.setResultFlags(res, w)
+	m.setFlag(FlagCF, false)
+	m.setFlag(FlagOF, false)
+	m.setFlag(FlagAF, false)
+}
+
+// addFlags computes a+b+cin with full flag updates, returning the
+// masked result.
+func (m *Machine) addFlags(a, b, cin uint64, w int) uint64 {
+	mask := maskFor(w)
+	a &= mask
+	b &= mask
+	var res uint64
+	var carry bool
+	if w == 8 {
+		var c uint64
+		res, c = bits.Add64(a, b, cin)
+		carry = c != 0
+	} else {
+		full := a + b + cin
+		res = full & mask
+		carry = full > mask
+	}
+	sign := uint(8*w - 1)
+	m.setResultFlags(res, w)
+	m.setFlag(FlagCF, carry)
+	m.setFlag(FlagOF, ((a^res)&(b^res))>>sign&1 == 1)
+	m.setFlag(FlagAF, ((a^b^res)>>4)&1 == 1)
+	return res
+}
+
+// subFlags computes a-b-cin with full flag updates, returning the
+// masked result.
+func (m *Machine) subFlags(a, b, cin uint64, w int) uint64 {
+	mask := maskFor(w)
+	a &= mask
+	b &= mask
+	var res uint64
+	var borrow bool
+	if w == 8 {
+		var c uint64
+		res, c = bits.Sub64(a, b, cin)
+		borrow = c != 0
+	} else {
+		full := a - b - cin
+		res = full & mask
+		borrow = a < b+cin
+	}
+	sign := uint(8*w - 1)
+	m.setResultFlags(res, w)
+	m.setFlag(FlagCF, borrow)
+	m.setFlag(FlagOF, ((a^b)&(a^res))>>sign&1 == 1)
+	m.setFlag(FlagAF, ((a^b^res)>>4)&1 == 1)
+	return res
+}
+
+// incFlags is add 1 preserving CF.
+func (m *Machine) incFlags(v uint64, w int) uint64 {
+	cf := m.Flags & FlagCF
+	res := m.addFlags(v, 1, 0, w)
+	m.Flags = m.Flags&^FlagCF | cf
+	return res
+}
+
+// decFlags is sub 1 preserving CF.
+func (m *Machine) decFlags(v uint64, w int) uint64 {
+	cf := m.Flags & FlagCF
+	res := m.subFlags(v, 1, 0, w)
+	m.Flags = m.Flags&^FlagCF | cf
+	return res
+}
+
+// imulFlags computes the signed two-operand product with CF/OF.
+func (m *Machine) imulFlags(a, b uint64, w int) uint64 {
+	sw := uint(64 - 8*w)
+	sa := int64(a<<sw) >> sw
+	sb := int64(b<<sw) >> sw
+	prod := sa * sb
+	res := uint64(prod) & maskFor(w)
+	truncated := int64(res<<sw)>>sw != prod
+	m.setResultFlags(res, w)
+	m.setFlag(FlagCF, truncated)
+	m.setFlag(FlagOF, truncated)
+	return res
+}
+
+// cond evaluates a condition code against RFLAGS.
+func (m *Machine) cond(cc x86.Cond) bool {
+	var v bool
+	switch cc &^ 1 {
+	case x86.CondO:
+		v = m.Flags&FlagOF != 0
+	case x86.CondB:
+		v = m.Flags&FlagCF != 0
+	case x86.CondE:
+		v = m.Flags&FlagZF != 0
+	case x86.CondBE:
+		v = m.Flags&(FlagCF|FlagZF) != 0
+	case x86.CondS:
+		v = m.Flags&FlagSF != 0
+	case x86.CondP:
+		v = m.Flags&FlagPF != 0
+	case x86.CondL:
+		v = (m.Flags&FlagSF != 0) != (m.Flags&FlagOF != 0)
+	case x86.CondLE:
+		v = m.Flags&FlagZF != 0 || (m.Flags&FlagSF != 0) != (m.Flags&FlagOF != 0)
+	}
+	if cc&1 == 1 {
+		return !v
+	}
+	return v
+}

@@ -1,0 +1,77 @@
+package emu
+
+import (
+	"fmt"
+
+	"e9patch/internal/x86"
+)
+
+// Runtime-call bindings. Workload programs reach native services
+// (output, exit, allocation) by calling well-known virtual addresses;
+// the Step loop intercepts those addresses before fetching. This models
+// the libc boundary: the paper's programs call malloc/printf, ours call
+// these bindings.
+
+// BindOutput makes addr an "emit one value" call: the rdi argument is
+// appended to m.Output. Differential tests compare Output streams.
+func BindOutput(m *Machine, addr uint64) {
+	m.Runtime[addr] = func(m *Machine) error {
+		m.Output = append(m.Output, m.Regs[x86.RDI])
+		return nil
+	}
+}
+
+// BindExit makes addr an exit call: rdi becomes the exit code and the
+// machine halts.
+func BindExit(m *Machine, addr uint64) {
+	m.Runtime[addr] = func(m *Machine) error {
+		m.ExitCode = m.Regs[x86.RDI]
+		m.halted = true
+		return nil
+	}
+}
+
+// BumpAllocator is the plain (non-hardened) heap: a bump allocator
+// with 16-byte alignment, the baseline against which the low-fat
+// allocator is swapped in (the paper swaps glibc malloc for
+// liblowfat.so via LD_PRELOAD).
+type BumpAllocator struct {
+	Base uint64
+	End  uint64
+	next uint64
+}
+
+// NewBumpAllocator returns an allocator carving [base, base+size).
+func NewBumpAllocator(base, size uint64) *BumpAllocator {
+	return &BumpAllocator{Base: base, End: base + size, next: base}
+}
+
+// Alloc returns a 16-byte-aligned block of the given size.
+func (b *BumpAllocator) Alloc(m *Machine, size uint64) (uint64, error) {
+	size = (size + 15) &^ 15
+	if b.next+size > b.End {
+		return 0, fmt.Errorf("emu: heap exhausted (%d bytes requested)", size)
+	}
+	p := b.next
+	b.next += size
+	m.Mem.Map(p, size)
+	return p, nil
+}
+
+// BindMalloc makes addr a malloc(rdi) call backed by the bump
+// allocator; free is a no-op (BindNop).
+func BindMalloc(m *Machine, addr uint64, heap *BumpAllocator) {
+	m.Runtime[addr] = func(m *Machine) error {
+		p, err := heap.Alloc(m, m.Regs[x86.RDI])
+		if err != nil {
+			return err
+		}
+		m.Regs[x86.RAX] = p
+		return nil
+	}
+}
+
+// BindNop makes addr a no-op runtime call (e.g. free).
+func BindNop(m *Machine, addr uint64) {
+	m.Runtime[addr] = func(m *Machine) error { return nil }
+}

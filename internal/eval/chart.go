@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Minimal ASCII bar charts so e9bench output reads like the paper's
+// figures, not just tables.
+
+// barChart renders labelled horizontal bars scaled to the maximum
+// value; baseline marks the 100% point with a '|'.
+func barChart(w io.Writer, title string, labels []string, series map[string][]float64, order []string) {
+	fmt.Fprintf(w, "%s\n", title)
+	maxV := 0.0
+	for _, vs := range series {
+		for _, v := range vs {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		return
+	}
+	const width = 48
+	scale := func(v float64) int {
+		n := int(v / maxV * width)
+		if n < 1 && v > 0 {
+			n = 1
+		}
+		return n
+	}
+	baseCol := scale(100)
+	for i, lab := range labels {
+		for _, name := range order {
+			vs := series[name]
+			if i >= len(vs) {
+				continue
+			}
+			bar := strings.Repeat("#", scale(vs[i]))
+			// Baseline marker at the 100% column.
+			if baseCol < len(bar) {
+				bar = bar[:baseCol] + "|" + bar[baseCol+1:]
+			}
+			fmt.Fprintf(w, "  %-18s %-8s %6.1f%% %s\n", lab, name, vs[i], bar)
+		}
+	}
+}
+
+// ChartFigure4 renders the Figure 4 series as bars.
+func ChartFigure4(w io.Writer, pts []Fig4Point) {
+	labels := make([]string, len(pts))
+	chrome := make([]float64, len(pts))
+	firefox := make([]float64, len(pts))
+	for i, p := range pts {
+		labels[i] = p.Suite
+		chrome[i] = p.Chrome
+		firefox[i] = p.FireFox
+	}
+	barChart(w, "Figure 4 (bars; '|' marks the 100% baseline):", labels,
+		map[string][]float64{"Chrome": chrome, "FireFox": firefox},
+		[]string{"Chrome", "FireFox"})
+}
+
+// ChartFigure5 renders the Figure 5 series as bars.
+func ChartFigure5(w io.Writer, rows []Fig5Row) {
+	labels := make([]string, len(rows))
+	empty := make([]float64, len(rows))
+	lf := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Name
+		empty[i] = r.Empty
+		lf[i] = r.LowFat
+	}
+	barChart(w, "Figure 5 (bars; '|' marks the 100% baseline):", labels,
+		map[string][]float64{"empty": empty, "lowfat": lf},
+		[]string{"empty", "lowfat"})
+}

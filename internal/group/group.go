@@ -1,0 +1,222 @@
+// Package group implements physical page grouping (§4): trampolines
+// are scattered across sparse virtual pages because punning constrains
+// their addresses; merging physical blocks whose trampolines occupy
+// disjoint block offsets — and mapping each merged block at many
+// virtual addresses — recovers the wasted physical memory and file
+// size.
+//
+// The virtual address space is divided into blocks of M consecutive
+// pages (the granularity knob): M=1 is the most aggressive merge; large
+// M trades physical memory for fewer mappings (the Linux
+// vm.max_map_count limit).
+package group
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the virtual page size.
+const PageSize = 0x1000
+
+// Chunk is a run of bytes to be materialised at a virtual address
+// (one trampoline, or a piece of one that crosses a block boundary).
+type Chunk struct {
+	Addr uint64
+	Data []byte
+}
+
+// Mapping maps one merged physical block into the virtual address
+// space (one simulated mmap call).
+type Mapping struct {
+	// Vaddr is the block-aligned virtual address.
+	Vaddr uint64
+	// Phys indexes Result.Blocks.
+	Phys int
+}
+
+// Stats summarises the optimisation's effect.
+type Stats struct {
+	// TrampolineBytes is the payload size.
+	TrampolineBytes uint64
+	// VirtBlocks is the number of occupied virtual blocks — also the
+	// number of mappings, and the number of physical blocks a naïve
+	// one-to-one scheme would emit.
+	VirtBlocks int
+	// PhysBlocks is the number of merged physical blocks emitted.
+	PhysBlocks int
+	// BlockSize is M * PageSize.
+	BlockSize uint64
+	// Mappings equals VirtBlocks (one mmap per occupied block).
+	Mappings int
+}
+
+// PhysBytes returns the grouped physical payload size.
+func (s Stats) PhysBytes() uint64 { return uint64(s.PhysBlocks) * s.BlockSize }
+
+// NaiveBytes returns the physical payload size without grouping.
+func (s Stats) NaiveBytes() uint64 { return uint64(s.VirtBlocks) * s.BlockSize }
+
+// Result is the grouped physical image.
+type Result struct {
+	// Blocks holds the merged physical blocks, each BlockSize bytes.
+	Blocks [][]byte
+	// Mappings lists the virtual placements of each block.
+	Mappings []Mapping
+	Stats    Stats
+}
+
+// maxProbe bounds the number of candidate groups the greedy partitioner
+// examines per block; the paper notes a simple greedy algorithm gives
+// reasonable results for reasonable performance.
+const maxProbe = 128
+
+type vblock struct {
+	vaddr  uint64 // block-aligned
+	bitmap []uint64
+	data   []byte
+	bytes  uint64
+}
+
+func (b *vblock) overlaps(other []uint64) bool {
+	for i, w := range b.bitmap {
+		if w&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Build groups the chunks with the given granularity (pages per
+// block). Chunks must be non-overlapping in virtual space.
+func Build(chunks []Chunk, granularity int) (*Result, error) {
+	if granularity < 1 {
+		return nil, fmt.Errorf("group: granularity %d < 1", granularity)
+	}
+	blockSize := uint64(granularity) * PageSize
+
+	// Slice chunks into per-block pieces and accumulate block images.
+	blocks := make(map[uint64]*vblock)
+	var payload uint64
+	for _, c := range chunks {
+		payload += uint64(len(c.Data))
+		addr := c.Addr
+		data := c.Data
+		for len(data) > 0 {
+			blockAddr := addr / blockSize * blockSize
+			off := addr - blockAddr
+			n := blockSize - off
+			if n > uint64(len(data)) {
+				n = uint64(len(data))
+			}
+			b := blocks[blockAddr]
+			if b == nil {
+				b = &vblock{
+					vaddr:  blockAddr,
+					bitmap: make([]uint64, (blockSize+63)/64),
+					data:   make([]byte, blockSize),
+				}
+				blocks[blockAddr] = b
+			}
+			for i := uint64(0); i < n; i++ {
+				w := (off + i) / 64
+				bit := (off + i) % 64
+				if b.bitmap[w]&(1<<bit) != 0 {
+					return nil, fmt.Errorf("group: overlapping chunks at %#x", addr+i)
+				}
+				b.bitmap[w] |= 1 << bit
+			}
+			copy(b.data[off:off+n], data[:n])
+			b.bytes += n
+			data = data[n:]
+			addr += n
+		}
+	}
+
+	// Deterministic order: by virtual address.
+	ordered := make([]*vblock, 0, len(blocks))
+	for _, b := range blocks {
+		ordered = append(ordered, b)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].vaddr < ordered[j].vaddr })
+
+	// Greedy partitioning: place each block into the first compatible
+	// group (bounded probing).
+	type grp struct {
+		bitmap  []uint64
+		data    []byte
+		members []uint64 // vaddrs
+	}
+	// Probe the most recently opened groups: older groups fill up, so
+	// scanning from the front would degenerate into one group per
+	// block once the probe budget's worth of groups saturates.
+	var groups []*grp
+	for _, b := range ordered {
+		placed := false
+		lo := len(groups) - maxProbe
+		if lo < 0 {
+			lo = 0
+		}
+		for gi := len(groups) - 1; gi >= lo; gi-- {
+			g := groups[gi]
+			conflict := false
+			for i, w := range b.bitmap {
+				if w&g.bitmap[i] != 0 {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			copyMasked(g.data, b.data, b.bitmap)
+			for i, w := range b.bitmap {
+				g.bitmap[i] |= w
+			}
+			g.members = append(g.members, b.vaddr)
+			placed = true
+			break
+		}
+		if !placed {
+			g := &grp{
+				bitmap:  append([]uint64(nil), b.bitmap...),
+				data:    append([]byte(nil), b.data...),
+				members: []uint64{b.vaddr},
+			}
+			groups = append(groups, g)
+		}
+	}
+
+	res := &Result{
+		Stats: Stats{
+			TrampolineBytes: payload,
+			VirtBlocks:      len(ordered),
+			PhysBlocks:      len(groups),
+			BlockSize:       blockSize,
+			Mappings:        len(ordered),
+		},
+	}
+	for gi, g := range groups {
+		res.Blocks = append(res.Blocks, g.data)
+		for _, v := range g.members {
+			res.Mappings = append(res.Mappings, Mapping{Vaddr: v, Phys: gi})
+		}
+	}
+	sort.Slice(res.Mappings, func(i, j int) bool { return res.Mappings[i].Vaddr < res.Mappings[j].Vaddr })
+	return res, nil
+}
+
+// copyMasked copies src bytes covered by bitmap into dst.
+func copyMasked(dst, src []byte, bitmap []uint64) {
+	for w, word := range bitmap {
+		if word == 0 {
+			continue
+		}
+		base := w * 64
+		for bit := 0; bit < 64; bit++ {
+			if word&(1<<uint(bit)) != 0 {
+				dst[base+bit] = src[base+bit]
+			}
+		}
+	}
+}

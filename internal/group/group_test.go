@@ -1,0 +1,169 @@
+package group
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFigure3Example(t *testing.T) {
+	// Five trampolines over three virtual pages, non-overlapping
+	// relative to page base → one merged physical page (Figure 3).
+	chunks := []Chunk{
+		{Addr: 0x10000 + 0x100, Data: []byte("t1t1")},
+		{Addr: 0x10000 + 0x800, Data: []byte("t2t2")},
+		{Addr: 0x11000 + 0x400, Data: []byte("t3t3")},
+		{Addr: 0x12000 + 0x000, Data: []byte("t4")},
+		{Addr: 0x12000 + 0xC00, Data: []byte("t5t5t5")},
+	}
+	res, err := Build(chunks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.VirtBlocks != 3 {
+		t.Errorf("virt blocks = %d", res.Stats.VirtBlocks)
+	}
+	if res.Stats.PhysBlocks != 1 {
+		t.Errorf("phys blocks = %d, want 1 (two-thirds saved)", res.Stats.PhysBlocks)
+	}
+	if res.Stats.Mappings != 3 {
+		t.Errorf("mappings = %d", res.Stats.Mappings)
+	}
+	// Reconstruct each virtual page and verify every chunk is intact.
+	verifyChunks(t, res, chunks)
+}
+
+func TestConflictingOffsetsSplit(t *testing.T) {
+	// Two pages with trampolines at the same offset cannot merge.
+	chunks := []Chunk{
+		{Addr: 0x10000 + 0x100, Data: []byte("aaaa")},
+		{Addr: 0x11000 + 0x100, Data: []byte("bbbb")},
+	}
+	res, err := Build(chunks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PhysBlocks != 2 {
+		t.Errorf("phys blocks = %d, want 2", res.Stats.PhysBlocks)
+	}
+	verifyChunks(t, res, chunks)
+}
+
+func TestBlockSpanningChunk(t *testing.T) {
+	// A trampoline crossing a page boundary becomes two
+	// mini-trampolines in two blocks.
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	chunks := []Chunk{{Addr: 0x10000 + 0xFE0, Data: data}}
+	res, err := Build(chunks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.VirtBlocks != 2 {
+		t.Errorf("virt blocks = %d, want 2", res.Stats.VirtBlocks)
+	}
+	verifyChunks(t, res, chunks)
+}
+
+func TestGranularityReducesMappings(t *testing.T) {
+	// Trampolines spread one per page over 256 pages: M=1 gives 256
+	// mappings; M=16 gives 16; physical bytes grow accordingly.
+	var chunks []Chunk
+	for i := 0; i < 256; i++ {
+		// Distinct offsets so everything could merge at M=1.
+		chunks = append(chunks, Chunk{
+			Addr: 0x100000 + uint64(i)*PageSize + uint64(i*13),
+			Data: []byte{1, 2, 3},
+		})
+	}
+	res1, err := Build(chunks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res16, err := Build(chunks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.Mappings != 256 {
+		t.Errorf("M=1 mappings = %d", res1.Stats.Mappings)
+	}
+	if res16.Stats.Mappings != 16 {
+		t.Errorf("M=16 mappings = %d", res16.Stats.Mappings)
+	}
+	if res1.Stats.PhysBlocks != 1 {
+		t.Errorf("M=1 phys blocks = %d, want full merge", res1.Stats.PhysBlocks)
+	}
+	verifyChunks(t, res1, chunks)
+	verifyChunks(t, res16, chunks)
+}
+
+func TestOverlapRejected(t *testing.T) {
+	chunks := []Chunk{
+		{Addr: 0x10000, Data: []byte{1, 2, 3, 4}},
+		{Addr: 0x10002, Data: []byte{9}},
+	}
+	if _, err := Build(chunks, 1); err == nil {
+		t.Fatal("overlapping chunks accepted")
+	}
+}
+
+func TestBadGranularity(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Fatal("granularity 0 accepted")
+	}
+}
+
+// verifyChunks reconstructs the virtual address space from the grouped
+// result and checks all chunk bytes are present at their addresses.
+func verifyChunks(t *testing.T, res *Result, chunks []Chunk) {
+	t.Helper()
+	mem := make(map[uint64]byte)
+	for _, mp := range res.Mappings {
+		blk := res.Blocks[mp.Phys]
+		for i, b := range blk {
+			mem[mp.Vaddr+uint64(i)] = b
+		}
+	}
+	for _, c := range chunks {
+		for i, b := range c.Data {
+			if mem[c.Addr+uint64(i)] != b {
+				t.Fatalf("byte at %#x = %#x, want %#x", c.Addr+uint64(i), mem[c.Addr+uint64(i)], b)
+			}
+		}
+	}
+}
+
+// TestGroupingProperty: random disjoint chunks at any granularity must
+// reconstruct exactly, and grouped blocks never exceed naive blocks.
+func TestGroupingProperty(t *testing.T) {
+	f := func(seed int64, granExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gran := 1 << (granExp % 7) // 1..64
+		var chunks []Chunk
+		next := uint64(0x200000)
+		for i := 0; i < 100; i++ {
+			next += uint64(rng.Intn(0x3000) + 1)
+			n := rng.Intn(48) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			chunks = append(chunks, Chunk{Addr: next, Data: data})
+			next += uint64(n)
+		}
+		res, err := Build(chunks, gran)
+		if err != nil {
+			t.Logf("seed %d gran %d: %v", seed, gran, err)
+			return false
+		}
+		if res.Stats.PhysBlocks > res.Stats.VirtBlocks {
+			return false
+		}
+		if res.Stats.Mappings != res.Stats.VirtBlocks {
+			return false
+		}
+		verifyChunks(t, res, chunks)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

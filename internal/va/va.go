@@ -1,0 +1,451 @@
+// Package va manages the virtual address space of a binary being
+// rewritten. It tracks occupied intervals (segments, trampolines,
+// reserved zones) and allocates trampoline memory subject to the
+// contiguous target windows that instruction punning induces.
+//
+// Every punned jump constrains its rel32 so that the fixed bytes form
+// the most-significant suffix of the little-endian value; the set of
+// reachable targets is therefore always one contiguous interval
+// [lo, hi]. Allocation reduces to first-fit search for a free gap of
+// the requested size inside such an interval.
+//
+// The interval set is a treap (randomized balanced BST) keyed by
+// interval start, with touching intervals merged eagerly so that
+// densely packed trampoline runs collapse into single nodes.
+package va
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Interval is a half-open address range [Lo, Hi).
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Size returns the interval length in bytes.
+func (iv Interval) Size() uint64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether addr lies inside the interval.
+func (iv Interval) Contains(addr uint64) bool { return addr >= iv.Lo && addr < iv.Hi }
+
+// Overlaps reports whether two intervals intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo < other.Hi && other.Lo < iv.Hi
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%#x,%#x)", iv.Lo, iv.Hi) }
+
+type node struct {
+	iv          Interval
+	prio        uint64
+	left, right *node
+}
+
+// Space is an occupied-interval set over a bounded address range.
+type Space struct {
+	root *node
+	// Min and Max bound allocatable addresses: allocations and
+	// reservations must satisfy Min <= lo && hi <= Max.
+	min, max uint64
+	rng      uint64
+	count    int
+	occupied uint64
+}
+
+// DefaultMin is the lowest allocatable address (mirrors Linux
+// mmap_min_addr: the NULL page region is never usable).
+const DefaultMin = 0x10000
+
+// DefaultMax is the highest allocatable address + 1 (the canonical
+// 47-bit user address space).
+const DefaultMax = 1 << 47
+
+// New returns an empty Space allowing addresses in [min, max).
+func New(min, max uint64) *Space {
+	if min >= max {
+		panic("va: min >= max")
+	}
+	return &Space{min: min, max: max, rng: 0x9E3779B97F4A7C15}
+}
+
+// NewDefault returns a Space over the standard user address range.
+func NewDefault() *Space { return New(DefaultMin, DefaultMax) }
+
+// Min returns the lowest allocatable address.
+func (s *Space) Min() uint64 { return s.min }
+
+// Max returns one past the highest allocatable address.
+func (s *Space) Max() uint64 { return s.max }
+
+// Count returns the number of stored (merged) intervals.
+func (s *Space) Count() int { return s.count }
+
+// OccupiedBytes returns the total size of all occupied intervals.
+func (s *Space) OccupiedBytes() uint64 { return s.occupied }
+
+func (s *Space) nextPrio() uint64 {
+	// xorshift64*; determinism matters for reproducible benchmarks.
+	x := s.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Reserve marks [lo, hi) as occupied. It fails if the range is empty,
+// escapes the space bounds, or overlaps an existing reservation.
+func (s *Space) Reserve(lo, hi uint64) error {
+	if lo >= hi {
+		return fmt.Errorf("va: empty reservation [%#x,%#x)", lo, hi)
+	}
+	if lo < s.min || hi > s.max {
+		return fmt.Errorf("va: reservation [%#x,%#x) outside bounds [%#x,%#x)", lo, hi, s.min, s.max)
+	}
+	if ov, ok := s.overlap(Interval{lo, hi}); ok {
+		return fmt.Errorf("va: reservation [%#x,%#x) overlaps %v", lo, hi, ov)
+	}
+	s.insertMerged(Interval{lo, hi})
+	return nil
+}
+
+// overlap returns an occupied interval overlapping iv, if any.
+func (s *Space) overlap(iv Interval) (Interval, bool) {
+	n := s.root
+	for n != nil {
+		if n.iv.Overlaps(iv) {
+			return n.iv, true
+		}
+		if iv.Lo < n.iv.Lo {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return Interval{}, false
+}
+
+// Occupied reports whether any byte of [lo, hi) is occupied.
+func (s *Space) Occupied(lo, hi uint64) bool {
+	_, ok := s.overlap(Interval{lo, hi})
+	return ok
+}
+
+// insertMerged inserts iv, merging with touching or adjacent intervals.
+func (s *Space) insertMerged(iv Interval) {
+	// Absorb any neighbours that touch [iv.Lo-1, iv.Hi+1).
+	for {
+		pred, ok := s.floor(iv.Lo)
+		if ok && pred.Hi >= iv.Lo {
+			s.remove(pred)
+			if pred.Lo < iv.Lo {
+				iv.Lo = pred.Lo
+			}
+			if pred.Hi > iv.Hi {
+				iv.Hi = pred.Hi
+			}
+			continue
+		}
+		succ, ok := s.ceiling(iv.Lo)
+		if ok && succ.Lo <= iv.Hi {
+			s.remove(succ)
+			if succ.Hi > iv.Hi {
+				iv.Hi = succ.Hi
+			}
+			continue
+		}
+		break
+	}
+	s.root = s.insertNode(s.root, &node{iv: iv, prio: s.nextPrio()})
+	s.count++
+	s.occupied += iv.Size()
+}
+
+func (s *Space) insertNode(n, ins *node) *node {
+	if n == nil {
+		return ins
+	}
+	if ins.prio > n.prio {
+		l, r := split(n, ins.iv.Lo)
+		ins.left, ins.right = l, r
+		return ins
+	}
+	if ins.iv.Lo < n.iv.Lo {
+		n.left = s.insertNode(n.left, ins)
+	} else {
+		n.right = s.insertNode(n.right, ins)
+	}
+	return n
+}
+
+// split partitions the treap into (<key, >=key) by interval start.
+func split(n *node, key uint64) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.iv.Lo < key {
+		n.right, r = split(n.right, key)
+		return n, r
+	}
+	l, n.left = split(n.left, key)
+	return l, n
+}
+
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		return l
+	default:
+		r.left = merge(l, r.left)
+		return r
+	}
+}
+
+// remove deletes the interval whose Lo equals iv.Lo.
+func (s *Space) remove(iv Interval) {
+	var rec func(n *node) *node
+	removed := false
+	rec = func(n *node) *node {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case iv.Lo < n.iv.Lo:
+			n.left = rec(n.left)
+		case iv.Lo > n.iv.Lo:
+			n.right = rec(n.right)
+		default:
+			removed = true
+			s.occupied -= n.iv.Size()
+			return merge(n.left, n.right)
+		}
+		return n
+	}
+	s.root = rec(s.root)
+	if removed {
+		s.count--
+	}
+}
+
+// floor returns the occupied interval with the greatest Lo <= addr.
+func (s *Space) floor(addr uint64) (Interval, bool) {
+	var best *node
+	n := s.root
+	for n != nil {
+		if n.iv.Lo <= addr {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		return Interval{}, false
+	}
+	return best.iv, true
+}
+
+// ceiling returns the occupied interval with the smallest Lo >= addr.
+func (s *Space) ceiling(addr uint64) (Interval, bool) {
+	var best *node
+	n := s.root
+	for n != nil {
+		if n.iv.Lo >= addr {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		return Interval{}, false
+	}
+	return best.iv, true
+}
+
+// Floor returns the occupied interval with the greatest start <= addr.
+func (s *Space) Floor(addr uint64) (Interval, bool) { return s.floor(addr) }
+
+// Ceiling returns the occupied interval with the smallest start >= addr.
+func (s *Space) Ceiling(addr uint64) (Interval, bool) { return s.ceiling(addr) }
+
+// Alloc finds and reserves a free range of the given size whose first
+// byte lies in the window [lo, hi] (inclusive), using first-fit. It
+// returns the chosen address, or ok=false if the window contains no
+// suitable gap.
+func (s *Space) Alloc(size uint64, lo, hi uint64) (uint64, bool) {
+	addr, ok := s.FindFree(size, lo, hi)
+	if !ok {
+		return 0, false
+	}
+	s.insertMerged(Interval{addr, addr + size})
+	return addr, true
+}
+
+// FindFree is Alloc without the reservation.
+func (s *Space) FindFree(size uint64, lo, hi uint64) (uint64, bool) {
+	if size == 0 || lo > hi {
+		return 0, false
+	}
+	if lo < s.min {
+		lo = s.min
+	}
+	// The whole allocation must fit below s.max.
+	if hi > s.max-size {
+		if s.max < size {
+			return 0, false
+		}
+		hi = s.max - size
+	}
+	if lo > hi {
+		return 0, false
+	}
+
+	cursor := lo
+	// Back up to the interval covering the cursor, if any.
+	if pred, ok := s.floor(cursor); ok && pred.Hi > cursor {
+		cursor = pred.Hi
+	}
+	for cursor <= hi {
+		next, ok := s.ceiling(cursor)
+		// ceiling is keyed on Lo and cursor is never inside an
+		// interval here, so next.Lo >= cursor.
+		gapEnd := s.max
+		if ok {
+			gapEnd = next.Lo
+		}
+		if gapEnd >= cursor+size {
+			return cursor, true
+		}
+		if !ok {
+			return 0, false
+		}
+		cursor = next.Hi
+	}
+	return 0, false
+}
+
+// Gaps returns up to max free gaps of at least size bytes whose start
+// lies within [lo, hi]. It is used by tactics that probe several
+// candidate placements (guided successor eviction).
+func (s *Space) Gaps(size uint64, lo, hi uint64, max int) []uint64 {
+	var out []uint64
+	if size == 0 || lo > hi || max <= 0 {
+		return nil
+	}
+	if lo < s.min {
+		lo = s.min
+	}
+	if hi > s.max-size {
+		if s.max < size {
+			return nil
+		}
+		hi = s.max - size
+	}
+	cursor := lo
+	if pred, ok := s.floor(cursor); ok && pred.Hi > cursor {
+		cursor = pred.Hi
+	}
+	for cursor <= hi && len(out) < max {
+		next, ok := s.ceiling(cursor)
+		gapEnd := s.max
+		if ok {
+			gapEnd = next.Lo
+		}
+		if gapEnd >= cursor+size {
+			out = append(out, cursor)
+		}
+		if !ok {
+			break
+		}
+		if next.Hi <= cursor {
+			break
+		}
+		cursor = next.Hi
+	}
+	return out
+}
+
+// Release frees the previously reserved range [lo, hi). The range must
+// be fully occupied (it may be an interior slice of a merged interval,
+// which is split around it). Tactics use this to back out partially
+// committed allocations.
+func (s *Space) Release(lo, hi uint64) error {
+	if lo >= hi {
+		return fmt.Errorf("va: empty release [%#x,%#x)", lo, hi)
+	}
+	iv, ok := s.floor(lo)
+	if !ok || iv.Hi < hi || iv.Lo > lo {
+		return fmt.Errorf("va: release [%#x,%#x) not fully reserved", lo, hi)
+	}
+	s.remove(iv)
+	if iv.Lo < lo {
+		s.root = s.insertNode(s.root, &node{iv: Interval{iv.Lo, lo}, prio: s.nextPrio()})
+		s.count++
+		s.occupied += lo - iv.Lo
+	}
+	if hi < iv.Hi {
+		s.root = s.insertNode(s.root, &node{iv: Interval{hi, iv.Hi}, prio: s.nextPrio()})
+		s.count++
+		s.occupied += iv.Hi - hi
+	}
+	return nil
+}
+
+// Intervals returns all occupied intervals in ascending order.
+func (s *Space) Intervals() []Interval {
+	out := make([]Interval, 0, s.count)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.iv)
+		walk(n.right)
+	}
+	walk(s.root)
+	return out
+}
+
+// Depth returns the height of the underlying treap (diagnostics).
+func (s *Space) Depth() int {
+	var depth func(n *node) int
+	depth = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + maxInt(depth(n.left), depth(n.right))
+	}
+	return depth(s.root)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PageCount returns the number of distinct pages of the given size
+// (must be a power of two) touched by occupied intervals.
+func (s *Space) PageCount(pageSize uint64) uint64 {
+	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
+		panic("va: page size must be a power of two")
+	}
+	shift := uint(bits.TrailingZeros64(pageSize))
+	var total uint64
+	for _, iv := range s.Intervals() {
+		first := iv.Lo >> shift
+		last := (iv.Hi - 1) >> shift
+		total += last - first + 1
+	}
+	return total
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+
+	"e9patch/internal/emu"
+	"e9patch/internal/x86"
+)
+
+// Dromaeo DOM benchmark analogue (Figure 4). Each suite is a DOM-like
+// operation mix over an array of fixed-size "nodes" with a
+// characteristic heap-write density and call depth; the .Proto/.jQuery
+// variants add indirection layers (extra calls and loads per
+// operation), as the framework wrappers do.
+//
+// The browser distinction is modelled by jitFrac: the fraction of
+// iterations spent in JIT-compiled (runtime-generated, hence
+// un-instrumented) code, which the paper suggests explains FireFox's
+// lower sensitivity (§6.2).
+
+// RTJit is the runtime address standing in for JIT'ed code execution.
+const RTJit uint64 = 0x2_0000_0400
+
+// JitCycles is the modelled cost of one JIT'ed-code episode.
+const JitCycles = 120
+
+// BindJit installs the JIT-episode runtime call.
+func BindJit(m *emu.Machine) {
+	m.Runtime[RTJit] = func(m *emu.Machine) error {
+		m.Counters.Cycles += JitCycles
+		return nil
+	}
+}
+
+// DromaeoSuite parametrises one Figure 4 series point.
+type DromaeoSuite struct {
+	Name string
+	// WritePct is the per-operation probability (x100) of mutating a
+	// node field (an A2 patch site firing).
+	WritePct int
+	// CallDepth is the wrapper indirection depth (0 = raw DOM API).
+	CallDepth int
+}
+
+// DromaeoSuites lists Figure 4's x-axis in paper order.
+var DromaeoSuites = []DromaeoSuite{
+	{Name: "Attrib", WritePct: 50, CallDepth: 0},
+	{Name: "Attrib.Proto", WritePct: 50, CallDepth: 1},
+	{Name: "Attrib.jQuery", WritePct: 50, CallDepth: 2},
+	{Name: "Modify", WritePct: 85, CallDepth: 0},
+	{Name: "Modify.Proto", WritePct: 85, CallDepth: 1},
+	{Name: "Modify.jQuery", WritePct: 85, CallDepth: 2},
+	{Name: "Query", WritePct: 6, CallDepth: 0},
+	{Name: "Style.Proto", WritePct: 70, CallDepth: 1},
+	{Name: "Style.jQuery", WritePct: 70, CallDepth: 2},
+	{Name: "Events.Proto", WritePct: 40, CallDepth: 1},
+	{Name: "Events.jQuery", WritePct: 40, CallDepth: 2},
+	{Name: "Traverse", WritePct: 12, CallDepth: 0},
+	{Name: "Traverse.Proto", WritePct: 12, CallDepth: 1},
+	{Name: "Traverse.jQuery", WritePct: 12, CallDepth: 2},
+}
+
+// BuildDromaeo builds the runnable program for one suite. jitPct is
+// the percentage of iterations spent in JIT'ed (un-instrumented) code:
+// higher for the FireFox model than for Chrome.
+func BuildDromaeo(suite DromaeoSuite, pie bool, jitPct int) (*Program, error) {
+	if suite.WritePct < 0 || suite.WritePct > 100 || jitPct < 0 || jitPct > 100 {
+		return nil, fmt.Errorf("workload: bad dromaeo parameters")
+	}
+	base := elfTextAddr(KindExec)
+	if pie {
+		base = elfTextAddr(KindPIE)
+	}
+	a := x86.NewAsm(base)
+
+	const nodeSize = 64
+	const nodeMask = 0x3FC0 // 256 nodes
+	iters := KernelIters
+
+	prologue(a, 1<<16)
+	over := a.NewLabel()
+	a.Jmp(over)
+
+	// domOp(rdi=node addr, rsi=op selector): the "raw DOM API".
+	domOp := a.NewLabel()
+	a.Bind(domOp)
+	write := a.NewLabel()
+	done := a.NewLabel()
+	a.MovRegReg64(x86.RDX, x86.RSI)
+	a.AndRegImm64(x86.RDX, 127)
+	a.CmpRegImm64(x86.RDX, int32(128*suite.WritePct/100))
+	a.JccShort(x86.CondL, write)
+	// Read path: getAttribute-style loads.
+	a.MovRegMem64(x86.RAX, x86.M(x86.RDI, 0))
+	a.AddRegMem64(x86.RAX, x86.M(x86.RDI, 8))
+	a.JmpShort(done)
+	a.Bind(write)
+	// Write path: setAttribute/style mutation (A2 patch sites).
+	a.MovMemReg64(x86.M(x86.RDI, 16), x86.RSI)
+	a.MovMemReg32(x86.M(x86.RDI, 24), x86.RSI)
+	a.MovRegMem64(x86.RAX, x86.M(x86.RDI, 16))
+	a.Bind(done)
+	a.Ret()
+
+	// Wrapper layers (Prototype/jQuery models): shuffle arguments,
+	// touch a descriptor, call down one level.
+	lower := domOp
+	for d := 0; d < suite.CallDepth; d++ {
+		w := a.NewLabel()
+		a.Bind(w)
+		a.MovRegMem64(x86.RAX, x86.M(x86.RDI, 32)) // descriptor load
+		a.AddRegReg64(x86.RSI, x86.RAX)
+		a.Call(lower)
+		a.AddRegImm64(x86.RAX, 1)
+		a.Ret()
+		lower = w
+	}
+
+	a.Bind(over)
+	// Loop state in callee-untouched registers: rbx = lcg state,
+	// r15 = iteration counter.
+	a.MovRegImm64(x86.RBX, 0xDEAD_BEEF_1357_9BDF)
+	a.XorRegReg32(x86.R15, x86.R15)
+	top := a.NewLabel()
+	a.Bind(top)
+	lcgStep(a, x86.RBX)
+
+	// JIT'ed-code episode for a slice of iterations (un-instrumented
+	// native execution standing in for runtime-generated code).
+	noJit := a.NewLabel()
+	skipOp := a.NewLabel()
+	a.MovRegReg64(x86.RDX, x86.RBX)
+	a.ShrRegImm64(x86.RDX, 13)
+	a.AndRegImm64(x86.RDX, 127)
+	a.CmpRegImm64(x86.RDX, int32(128*jitPct/100))
+	a.Jcc(x86.CondGE, noJit)
+	callRT(a, RTJit)
+	a.Jmp(skipOp)
+	a.Bind(noJit)
+
+	// Run a burst of suite operations on different nodes through the
+	// wrapper layers (a DOM benchmark iteration touches many nodes).
+	for _, shift := range []uint8{20, 31, 42} {
+		a.MovRegReg64(x86.RDX, x86.RBX)
+		a.ShrRegImm64(x86.RDX, shift)
+		a.AndRegImm64(x86.RDX, nodeMask)
+		a.Lea(x86.RDI, x86.MIdx(x86.R12, x86.RDX, 1, 0))
+		a.MovRegReg64(x86.RSI, x86.RBX)
+		a.ShrRegImm64(x86.RSI, uint8(shift/2))
+		a.Call(lower)
+		a.AddRegReg64(x86.R13, x86.RAX)
+	}
+	a.Bind(skipOp)
+
+	a.AddRegImm64(x86.R15, 1)
+	a.CmpRegImm64(x86.R15, int32(iters))
+	a.Jcc(x86.CondL, top)
+	epilogue(a)
+
+	text, err := a.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("workload dromaeo %s: %w", suite.Name, err)
+	}
+	return buildELF("dromaeo-"+suite.Name, pie, text, make([]byte, 1024), 0x4000)
+}

@@ -1,0 +1,247 @@
+package x86
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decoding errors.
+var (
+	// ErrTruncated reports that the byte stream ended inside an
+	// instruction.
+	ErrTruncated = errors.New("x86: truncated instruction")
+	// ErrInvalid reports an opcode that is invalid in 64-bit mode or
+	// outside the supported subset.
+	ErrInvalid = errors.New("x86: invalid opcode")
+)
+
+const maxInstLen = 15
+
+// Decode decodes the instruction starting at code[0], assumed to be
+// loaded at virtual address addr. The returned Inst aliases code.
+func Decode(code []byte, addr uint64) (Inst, error) {
+	inst := Inst{
+		Addr:     addr,
+		MemBase:  NoReg,
+		MemIndex: NoReg,
+	}
+	pos := 0
+
+	// Legacy and REX prefixes. REX is only effective when it is the
+	// final prefix; compilers always emit it last, and for length
+	// decoding earlier REX bytes are harmless.
+	opSize := false
+	for {
+		if pos >= len(code) {
+			return inst, ErrTruncated
+		}
+		if pos >= maxInstLen {
+			return inst, fmt.Errorf("%w: prefix run too long", ErrInvalid)
+		}
+		b := code[pos]
+		k := prefixKind(b)
+		if k == prefNone {
+			break
+		}
+		if k == prefRex {
+			inst.Rex = b
+		} else {
+			inst.Rex = 0 // REX must immediately precede the opcode
+		}
+		if k == prefOpSize {
+			opSize = true
+		}
+		pos++
+	}
+	inst.NPrefix = pos
+
+	// Opcode.
+	op := code[pos]
+	pos++
+	var attrs Attr
+	if op == 0x0F {
+		if pos >= len(code) {
+			return inst, ErrTruncated
+		}
+		inst.TwoByte = true
+		op = code[pos]
+		pos++
+		attrs = twoByte[op]
+	} else {
+		attrs = oneByte[op]
+	}
+	inst.Opcode = op
+	if attrs&AttrInvalid != 0 {
+		return inst, fmt.Errorf("%w: %#02x (two-byte=%v)", ErrInvalid, op, inst.TwoByte)
+	}
+
+	// ModRM, SIB and displacement.
+	if attrs&AttrModRM != 0 {
+		if pos >= len(code) {
+			return inst, ErrTruncated
+		}
+		modrm := code[pos]
+		pos++
+		inst.ModRM = modrm
+		mod := modrm >> 6
+		rm := modrm & 7
+
+		dispSize := 0
+		if mod == 3 {
+			// Register operand: no memory access.
+		} else {
+			switch mod {
+			case 1:
+				dispSize = 1
+			case 2:
+				dispSize = 4
+			}
+			if rm == 4 {
+				// SIB byte.
+				if pos >= len(code) {
+					return inst, ErrTruncated
+				}
+				sib := code[pos]
+				pos++
+				base := sib & 7
+				index := (sib >> 3) & 7
+				scaledIndex := Reg(index) | Reg(rexBit(inst.Rex, 1))<<3
+				if scaledIndex != RSP { // index=100b means "no index"
+					inst.MemIndex = scaledIndex
+					inst.MemScale = 1 << (sib >> 6)
+				}
+				if base == 5 && mod == 0 {
+					dispSize = 4 // disp32, no base
+				} else {
+					inst.MemBase = Reg(base) | Reg(rexBit(inst.Rex, 0))<<3
+				}
+			} else if rm == 5 && mod == 0 {
+				// RIP-relative in 64-bit mode.
+				dispSize = 4
+				inst.RIPRel = true
+				inst.MemBase = RIP
+			} else {
+				inst.MemBase = Reg(rm) | Reg(rexBit(inst.Rex, 0))<<3
+			}
+		}
+		if dispSize > 0 {
+			if pos+dispSize > len(code) {
+				return inst, ErrTruncated
+			}
+			inst.DispOff = pos
+			inst.DispSize = dispSize
+			pos += dispSize
+		}
+
+		attrs = refineGroups(op, inst.TwoByte, modrm, attrs)
+		// Register-form instructions never write memory.
+		if mod == 3 {
+			attrs &^= AttrMemDst
+		}
+	}
+
+	// Immediates.
+	immSize := 0
+	if attrs&AttrImm8 != 0 {
+		immSize += 1
+	}
+	if attrs&AttrImm16 != 0 {
+		immSize += 2
+	}
+	if attrs&AttrImmZ != 0 {
+		if opSize {
+			immSize += 2
+		} else {
+			immSize += 4
+		}
+	}
+	if attrs&AttrImmV != 0 {
+		switch {
+		case inst.Rex&0x08 != 0:
+			immSize += 8
+		case opSize:
+			immSize += 2
+		default:
+			immSize += 4
+		}
+	}
+	if attrs&AttrMoffs != 0 {
+		immSize += 8
+	}
+	if immSize > 0 {
+		if pos+immSize > len(code) {
+			return inst, ErrTruncated
+		}
+		inst.ImmOff = pos
+		inst.ImmSize = immSize
+		pos += immSize
+	}
+
+	// Branch displacement (always the final field).
+	switch {
+	case attrs&AttrRel8 != 0:
+		if pos >= len(code) {
+			return inst, ErrTruncated
+		}
+		inst.RelOff = pos
+		inst.RelSize = 1
+		pos++
+	case attrs&AttrRel32 != 0:
+		if pos+4 > len(code) {
+			return inst, ErrTruncated
+		}
+		inst.RelOff = pos
+		inst.RelSize = 4
+		pos += 4
+	}
+
+	if pos > maxInstLen {
+		return inst, fmt.Errorf("%w: length %d exceeds 15", ErrInvalid, pos)
+	}
+	inst.Len = pos
+	inst.Bytes = code[:pos]
+	inst.Attrs = attrs
+	return inst, nil
+}
+
+// rexBit extracts REX bit n (0=B, 1=X, 2=R, 3=W) as 0 or 1.
+func rexBit(rex byte, n uint) byte {
+	return (rex >> n) & 1
+}
+
+// refineGroups adjusts attributes for opcodes whose semantics depend on
+// the ModRM reg field (the x86 "group" encodings).
+func refineGroups(op byte, twoByteOp bool, modrm byte, attrs Attr) Attr {
+	reg := (modrm >> 3) & 7
+	if twoByteOp {
+		return attrs
+	}
+	switch op {
+	case 0xF6, 0xF7: // group 3
+		attrs &^= AttrGroup3
+		if reg <= 1 { // test r/m,imm
+			if op == 0xF6 {
+				attrs |= AttrImm8
+			} else {
+				attrs |= AttrImmZ
+			}
+			attrs &^= AttrMemDst
+		} else if reg >= 4 { // mul/imul/div/idiv read only
+			attrs &^= AttrMemDst
+		}
+		// reg 2 (not) and 3 (neg) keep AttrMemDst.
+	case 0xFF: // group 5
+		switch reg {
+		case 0, 1: // inc/dec r/m
+			attrs |= AttrMemDst
+		case 2: // call r/m (indirect)
+			attrs |= AttrCall
+		case 3: // far call
+			attrs |= AttrCall
+		case 4, 5: // jmp r/m (indirect)
+			attrs |= AttrJump | AttrStop
+		case 6: // push r/m
+		}
+	}
+	return attrs
+}

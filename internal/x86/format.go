@@ -1,0 +1,307 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mnemonic returns a best-effort mnemonic for a decoded instruction.
+// The formatter covers the encodings the rest of this project emits or
+// commonly encounters; anything else prints as ".byte"-style raw data.
+// Disassembly text is purely diagnostic — the rewriter itself never
+// consumes it (it needs only locations, sizes and raw bytes).
+func (i *Inst) Mnemonic() string {
+	op := i.Opcode
+	if i.TwoByte {
+		switch {
+		case op >= 0x80 && op <= 0x8F:
+			return "j" + Cond(op&0xF).String()
+		case op >= 0x90 && op <= 0x9F:
+			return "set" + Cond(op&0xF).String()
+		case op >= 0x40 && op <= 0x4F:
+			return "cmov" + Cond(op&0xF).String()
+		}
+		switch op {
+		case 0x05:
+			return "syscall"
+		case 0x0B:
+			return "ud2"
+		case 0x1E, 0x1F, 0x0D:
+			return "nop"
+		case 0xAF:
+			return "imul"
+		case 0xB6, 0xB7:
+			return "movzx"
+		case 0xBE, 0xBF:
+			return "movsx"
+		case 0xB0, 0xB1:
+			return "cmpxchg"
+		case 0xC0, 0xC1:
+			return "xadd"
+		case 0xA2:
+			return "cpuid"
+		case 0x31:
+			return "rdtsc"
+		}
+		return fmt.Sprintf("(0f %02x)", op)
+	}
+
+	aluNames := [8]string{"add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"}
+	switch {
+	case op <= 0x3D && (op&7) <= 5:
+		return aluNames[(op>>3)&7]
+	case op >= 0x50 && op <= 0x57:
+		return "push"
+	case op >= 0x58 && op <= 0x5F:
+		return "pop"
+	case op >= 0x70 && op <= 0x7F:
+		return "j" + Cond(op&0xF).String()
+	case op >= 0x91 && op <= 0x97:
+		return "xchg"
+	case op >= 0xB0 && op <= 0xBF:
+		return "mov"
+	}
+	switch op {
+	case 0x63:
+		return "movsxd"
+	case 0x68, 0x6A:
+		return "push"
+	case 0x69, 0x6B:
+		return "imul"
+	case 0x80, 0x81, 0x83:
+		return aluNames[(i.ModRM>>3)&7]
+	case 0x84, 0x85:
+		return "test"
+	case 0x86, 0x87:
+		return "xchg"
+	case 0x88, 0x89, 0x8A, 0x8B:
+		return "mov"
+	case 0x8D:
+		return "lea"
+	case 0x8F:
+		return "pop"
+	case 0x90:
+		return "nop"
+	case 0x98:
+		if i.Rex&8 != 0 {
+			return "cdqe"
+		}
+		return "cwde"
+	case 0x99:
+		if i.Rex&8 != 0 {
+			return "cqo"
+		}
+		return "cdq"
+	case 0x9C:
+		return "pushfq"
+	case 0x9D:
+		return "popfq"
+	case 0xA8, 0xA9:
+		return "test"
+	case 0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3:
+		return [8]string{"rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar"}[(i.ModRM>>3)&7]
+	case 0xC2, 0xC3:
+		return "ret"
+	case 0xC6, 0xC7:
+		return "mov"
+	case 0xC9:
+		return "leave"
+	case 0xCC:
+		return "int3"
+	case 0xCD:
+		return "int"
+	case 0xE8:
+		return "call"
+	case 0xE9, 0xEB:
+		return "jmp"
+	case 0xF4:
+		return "hlt"
+	case 0xF6, 0xF7:
+		return [8]string{"test", "test", "not", "neg", "mul", "imul", "div", "idiv"}[(i.ModRM>>3)&7]
+	case 0xFE:
+		return [8]string{"inc", "dec", "?", "?", "?", "?", "?", "?"}[(i.ModRM>>3)&7]
+	case 0xFF:
+		return [8]string{"inc", "dec", "call", "lcall", "jmp", "ljmp", "push", "?"}[(i.ModRM>>3)&7]
+	}
+	return fmt.Sprintf("(%02x)", op)
+}
+
+// opWidth returns the operand width in bytes for register naming.
+func (i *Inst) opWidth() int {
+	op := i.Opcode
+	if !i.TwoByte {
+		switch {
+		case op <= 0x3D && (op&7)%2 == 0 && op&7 <= 4:
+			return 1
+		case op == 0x80, op == 0x84, op == 0x86, op == 0x88, op == 0x8A,
+			op == 0xA8, op == 0xC0, op == 0xC6, op == 0xD0, op == 0xD2,
+			op == 0xF6, op == 0xFE:
+			return 1
+		case op >= 0xB0 && op <= 0xB7:
+			return 1
+		case op >= 0x50 && op <= 0x5F, op == 0x68, op == 0x6A, op == 0x8F:
+			return 8
+		case op == 0xFF:
+			// Indirect call/jmp and push operate on 64-bit operands.
+			if f := (i.ModRM >> 3) & 7; f == 2 || f == 4 || f == 6 {
+				return 8
+			}
+		}
+	}
+	if i.Rex&0x08 != 0 {
+		return 8
+	}
+	for n := 0; n < i.NPrefix; n++ {
+		if i.Bytes[n] == 0x66 {
+			return 2
+		}
+	}
+	return 4
+}
+
+var reg8Names = [...]string{"al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+	"r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b"}
+var reg16Names = [...]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+	"r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w"}
+var reg32Names = [...]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+	"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"}
+
+// regName formats a register at a given width.
+func regName(r Reg, w int) string {
+	if r >= RIP {
+		return "%" + r.String()
+	}
+	switch w {
+	case 1:
+		return "%" + reg8Names[r]
+	case 2:
+		return "%" + reg16Names[r]
+	case 4:
+		return "%" + reg32Names[r]
+	}
+	return "%" + r.String()
+}
+
+// memString formats the instruction's memory operand AT&T-style.
+func (i *Inst) memString() string {
+	var sb strings.Builder
+	if d := i.Disp(); d != 0 || !i.HasMem() {
+		fmt.Fprintf(&sb, "%#x", d)
+	}
+	if i.RIPRel {
+		sb.WriteString("(%rip)")
+		return sb.String()
+	}
+	if i.MemBase == NoReg && i.MemIndex == NoReg {
+		return sb.String() // absolute
+	}
+	sb.WriteByte('(')
+	if i.MemBase != NoReg {
+		sb.WriteString(regName(i.MemBase, 8))
+	}
+	if i.MemIndex != NoReg {
+		fmt.Fprintf(&sb, ",%s,%d", regName(i.MemIndex, 8), i.MemScale)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// String renders the instruction AT&T-style: mnemonic, then operands
+// (best effort; see Mnemonic).
+func (i *Inst) String() string {
+	mn := i.Mnemonic()
+	w := i.opWidth()
+	var ops []string
+
+	rm := func() string {
+		if i.Attrs&AttrModRM == 0 {
+			return ""
+		}
+		if i.ModRM>>6 == 3 {
+			return regName(Reg(i.ModRM&7|(i.Rex&1)<<3), w)
+		}
+		return i.memString()
+	}
+	reg := func() string {
+		return regName(Reg((i.ModRM>>3)&7|(i.Rex>>2&1)<<3), w)
+	}
+
+	op := i.Opcode
+	switch {
+	case i.RelSize != 0:
+		ops = append(ops, fmt.Sprintf("%#x", i.Target()))
+	case i.TwoByte && (op == 0xB6 || op == 0xB7 || op == 0xBE || op == 0xBF):
+		sw := 1
+		if op == 0xB7 || op == 0xBF {
+			sw = 2
+		}
+		src := i.memString()
+		if i.ModRM>>6 == 3 {
+			src = regName(Reg(i.ModRM&7|(i.Rex&1)<<3), sw)
+		}
+		ops = append(ops, src, reg())
+	case i.TwoByte && i.Attrs&AttrModRM != 0:
+		ops = append(ops, rm(), reg())
+	case op <= 0x3D:
+		switch op & 7 {
+		case 0, 1: // op r/m, r
+			ops = append(ops, reg(), rm())
+		case 2, 3: // op r, r/m
+			ops = append(ops, rm(), reg())
+		case 4, 5: // op a, imm
+			ops = append(ops, fmt.Sprintf("$%#x", i.Imm()), regName(RAX, w))
+		}
+	case op >= 0x50 && op <= 0x5F:
+		ops = append(ops, regName(Reg(op&7|(i.Rex&1)<<3), 8))
+	case op == 0x68 || op == 0x6A || op == 0xCD:
+		ops = append(ops, fmt.Sprintf("$%#x", i.Imm()))
+	case op == 0x80 || op == 0x81 || op == 0x83 || op == 0xC6 || op == 0xC7:
+		ops = append(ops, fmt.Sprintf("$%#x", i.Imm()), rm())
+	case op == 0x84 || op == 0x85 || op == 0x88 || op == 0x89:
+		ops = append(ops, reg(), rm())
+	case op == 0x86 || op == 0x87:
+		ops = append(ops, reg(), rm())
+	case op == 0x8A || op == 0x8B || op == 0x8D || op == 0x63:
+		ops = append(ops, rm(), reg())
+	case op == 0x8F || op == 0xFE:
+		ops = append(ops, rm())
+	case op >= 0x91 && op <= 0x97:
+		ops = append(ops, regName(Reg(op&7|(i.Rex&1)<<3), w), regName(RAX, w))
+	case op >= 0xB0 && op <= 0xBF:
+		ops = append(ops, fmt.Sprintf("$%#x", i.Imm()), regName(Reg(op&7|(i.Rex&1)<<3), w))
+	case op == 0x69 || op == 0x6B:
+		ops = append(ops, fmt.Sprintf("$%#x", i.Imm()), rm(), reg())
+	case op == 0xA8 || op == 0xA9:
+		ops = append(ops, fmt.Sprintf("$%#x", i.Imm()), regName(RAX, w))
+	case op == 0xC0 || op == 0xC1:
+		ops = append(ops, fmt.Sprintf("$%d", i.Imm()), rm())
+	case op == 0xD0 || op == 0xD1:
+		ops = append(ops, "$1", rm())
+	case op == 0xD2 || op == 0xD3:
+		ops = append(ops, "%cl", rm())
+	case op == 0xC2:
+		ops = append(ops, fmt.Sprintf("$%#x", i.Imm()))
+	case op == 0xF6 || op == 0xF7:
+		if (i.ModRM>>3)&7 <= 1 {
+			ops = append(ops, fmt.Sprintf("$%#x", i.Imm()))
+		}
+		ops = append(ops, rm())
+	case op == 0xFF:
+		r := rm()
+		if f := (i.ModRM >> 3) & 7; f == 2 || f == 4 {
+			r = "*" + r
+		}
+		ops = append(ops, r)
+	}
+
+	out := make([]string, 0, len(ops))
+	for _, o := range ops {
+		if o != "" {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		return mn
+	}
+	return mn + " " + strings.Join(out, ",")
+}

@@ -1,0 +1,94 @@
+package x86
+
+import (
+	"strings"
+	"testing"
+)
+
+func fmtOf(t *testing.T, code []byte, addr uint64) string {
+	t.Helper()
+	in, err := Decode(code, addr)
+	if err != nil {
+		t.Fatalf("decode % x: %v", code, err)
+	}
+	return in.String()
+}
+
+func TestFormatKnown(t *testing.T) {
+	cases := []struct {
+		code []byte
+		addr uint64
+		want string
+	}{
+		{[]byte{0x48, 0x89, 0x03}, 0, "mov %rax,(%rbx)"},
+		{[]byte{0x48, 0x83, 0xC0, 0x20}, 0, "add $0x20,%rax"},
+		{[]byte{0x48, 0x31, 0xC1}, 0, "xor %rax,%rcx"},
+		{[]byte{0x83, 0x7B, 0xFC, 0x4D}, 0, "cmp $0x4d,-0x4(%rbx)"},
+		{[]byte{0xF6, 0x43, 0x18, 0x02}, 0, "test $0x2,0x18(%rbx)"},
+		{[]byte{0xC3}, 0, "ret"},
+		{[]byte{0x50}, 0, "push %rax"},
+		{[]byte{0x41, 0x54}, 0, "push %r12"},
+		{[]byte{0xE9, 0x00, 0x00, 0x00, 0x00}, 0x400000, "jmp 0x400005"},
+		{[]byte{0xEB, 0x70}, 0x422a61, "jmp 0x422ad3"},
+		{[]byte{0x74, 0x27}, 0x422ad5, "je 0x422afe"},
+		{[]byte{0xE8, 0xFB, 0xFF, 0xFF, 0xFF}, 0x400000, "call 0x400000"},
+		{[]byte{0x89, 0xDD}, 0, "mov %ebx,%ebp"},
+		{[]byte{0xC6, 0x80, 0x98, 0x03, 0x00, 0x00, 0x01}, 0, "mov $0x1,0x398(%rax)"},
+		{[]byte{0xFF, 0xE0}, 0, "jmp *%rax"},
+		{[]byte{0xFF, 0xD0}, 0, "call *%rax"},
+		{[]byte{0x48, 0x8D, 0x04, 0x8B}, 0, "lea (%rbx,%rcx,4),%rax"},
+		{[]byte{0x0F, 0x84, 0x00, 0x00, 0x00, 0x00}, 0x1000, "je 0x1006"},
+		{[]byte{0x48, 0xC1, 0xE0, 0x04}, 0, "shl $4,%rax"},
+		{[]byte{0x9C}, 0, "pushfq"},
+		{[]byte{0xCC}, 0, "int3"},
+		{[]byte{0x90}, 0, "nop"},
+		{[]byte{0x0F, 0xB6, 0x07}, 0, "movzx (%rdi),%eax"},
+		{[]byte{0x48, 0xF7, 0xD8}, 0, "neg %rax"},
+		{[]byte{0x48, 0xB8, 0xEF, 0xBE, 0, 0, 0, 0, 0, 0}, 0, "mov $0xbeef,%rax"},
+		{[]byte{0x31, 0xC0}, 0, "xor %eax,%eax"},
+	}
+	for _, tc := range cases {
+		if got := fmtOf(t, tc.code, tc.addr); got != tc.want {
+			t.Errorf("% x: got %q, want %q", tc.code, got, tc.want)
+		}
+	}
+}
+
+// TestFormatNeverPanics runs the formatter over everything the
+// round-trip generator can produce plus raw byte soup.
+func TestFormatNeverPanics(t *testing.T) {
+	// Byte soup: every one-byte opcode with plausible tails.
+	for b := 0; b < 256; b++ {
+		code := []byte{byte(b), 0x05, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80}
+		in, err := Decode(code, 0x400000)
+		if err != nil {
+			continue
+		}
+		s := in.String()
+		if s == "" {
+			t.Errorf("opcode %#02x formatted empty", b)
+		}
+	}
+	// Two-byte map.
+	for b := 0; b < 256; b++ {
+		code := []byte{0x0F, byte(b), 0x05, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60}
+		in, err := Decode(code, 0x400000)
+		if err != nil {
+			continue
+		}
+		_ = in.String()
+	}
+}
+
+func TestFormatWidths(t *testing.T) {
+	// 8-bit, 32-bit and 64-bit views of the same register.
+	if got := fmtOf(t, []byte{0x88, 0x03}, 0); !strings.Contains(got, "%al") {
+		t.Errorf("8-bit store: %q", got)
+	}
+	if got := fmtOf(t, []byte{0x89, 0x03}, 0); !strings.Contains(got, "%eax") {
+		t.Errorf("32-bit store: %q", got)
+	}
+	if got := fmtOf(t, []byte{0x48, 0x89, 0x03}, 0); !strings.Contains(got, "%rax") {
+		t.Errorf("64-bit store: %q", got)
+	}
+}

@@ -1,0 +1,27 @@
+package x86
+
+import "fmt"
+
+// ErrRelocRange reports that a relocated displacement no longer fits in
+// 32 bits.
+var ErrRelocRange = fmt.Errorf("x86: relocated displacement out of rel32 range")
+
+// RelocateSimple re-encodes a non-branch instruction so that it can be
+// executed at newAddr with unchanged semantics. RIP-relative
+// displacements are adjusted; all other instructions are byte-copied.
+// Direct branches must be handled by the caller (the trampoline
+// compiler emits explicit branch sequences for them).
+func RelocateSimple(i *Inst, newAddr uint64) ([]byte, error) {
+	out := make([]byte, i.Len)
+	copy(out, i.Bytes)
+	if !i.RIPRel {
+		return out, nil
+	}
+	// target = oldAddr + len + disp = newAddr + len + newDisp.
+	newDisp := i.Disp() + int64(i.Addr) - int64(newAddr)
+	if newDisp < -1<<31 || newDisp > 1<<31-1 {
+		return nil, fmt.Errorf("%w: %#x -> %#x disp %d", ErrRelocRange, i.Addr, newAddr, newDisp)
+	}
+	put32(out[i.DispOff:], uint32(int32(newDisp)))
+	return out, nil
+}

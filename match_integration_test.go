@@ -1,0 +1,62 @@
+package e9patch
+
+import (
+	"testing"
+
+	"e9patch/internal/workload"
+)
+
+// TestSelectMatchDifferential drives the matcher-based selection
+// through the full pipeline: several expressions, each rewritten and
+// executed differentially.
+func TestSelectMatchDifferential(t *testing.T) {
+	prog, err := workload.BuildKernel("branchy", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := runBinary(t, prog.ELF, nil)
+
+	for _, expr := range []string{
+		"jump | jcc",
+		"heapwrite",
+		"jcc & short",
+		"mnemonic=mov & memwrite",
+		"call | ret",
+		"len>=5 & branch",
+	} {
+		sel, err := SelectMatch(expr)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		res, err := Rewrite(prog.ELF, Config{
+			Select:    sel,
+			ReserveVA: workload.ReserveVA(),
+		})
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		patched := runBinary(t, res.Output, nil)
+		if patched.Output[0] != orig.Output[0] {
+			t.Fatalf("%q: behaviour diverged", expr)
+		}
+		t.Logf("%-28q matched %5d, patched %.1f%%", expr, res.Stats.Total, res.Stats.SuccPercent())
+	}
+
+	// Equivalence with the built-in selectors.
+	a1, _ := SelectMatch("jump | jcc")
+	r1, err := Rewrite(prog.ELF, Config{Select: a1, ReserveVA: workload.ReserveVA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Rewrite(prog.ELF, Config{Select: SelectJumps, ReserveVA: workload.ReserveVA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Total != r2.Stats.Total {
+		t.Errorf("matcher A1 (%d) != built-in A1 (%d)", r1.Stats.Total, r2.Stats.Total)
+	}
+
+	if _, err := SelectMatch("jcc &"); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
