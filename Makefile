@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build fmt vet test race difftest bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# fmt fails if any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# difftest runs the differential suites: rewriter (original vs patched),
+# engines (interp vs tbc, including the FuzzEngines seed corpus), and
+# the tbc parity/self-modifying-code tests.
+difftest:
+	$(GO) test -run 'TestDifferentialFuzz|TestFuzzSelectAllCoverage' .
+	$(GO) test -run FuzzEngines .
+	$(GO) test ./internal/emu/tbc/
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+ci: fmt vet race difftest

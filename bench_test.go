@@ -279,8 +279,27 @@ func BenchmarkRewrite(b *testing.B) {
 	}
 }
 
-// BenchmarkEmulator measures emulated instruction throughput.
+// BenchmarkEmulator measures emulated instruction throughput under the
+// default engine (the tbc translation cache).
 func BenchmarkEmulator(b *testing.B) {
+	benchEmulator(b, workload.Engine)
+}
+
+// BenchmarkEmulatorInterp pins the decode-per-step interpreter.
+func BenchmarkEmulatorInterp(b *testing.B) {
+	benchEmulator(b, "interp")
+}
+
+// BenchmarkEmulatorTBC pins the translation cache; compare with
+// BenchmarkEmulatorInterp for the engine speedup.
+func BenchmarkEmulatorTBC(b *testing.B) {
+	benchEmulator(b, "tbc")
+}
+
+func benchEmulator(b *testing.B, engine string) {
+	saved := workload.Engine
+	workload.Engine = engine
+	defer func() { workload.Engine = saved }()
 	workload.KernelIters = 20000
 	prog, err := workload.BuildKernel("memstream", false)
 	if err != nil {

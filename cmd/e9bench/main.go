@@ -11,10 +11,14 @@
 //	e9bench -ablation-pie      # §6.1 PIE vs non-PIE coverage
 //	e9bench -ablation-b0       # §2.1.1 signal-handler baseline
 //	e9bench -motivation        # §1 CFG-recovery accuracy decay
+//	e9bench -enginespeed       # interp vs tbc emulation throughput
 //	e9bench -all               # everything
 //
 // -scale shrinks the synthetic binaries relative to the paper's sizes
-// (default 0.25); -full is shorthand for -scale 1.
+// (default 0.25); -full is shorthand for -scale 1. -engine selects the
+// execution engine (tbc translation cache by default, interp to fall
+// back to the decode-per-step interpreter); every run ends with an
+// instructions-per-second line for the session.
 package main
 
 import (
@@ -36,16 +40,25 @@ func main() {
 		abPIE   = flag.Bool("ablation-pie", false, "PIE vs non-PIE coverage")
 		abB0    = flag.Bool("ablation-b0", false, "int3/SIGTRAP baseline comparison")
 		motiv   = flag.Bool("motivation", false, "CFG-recovery accuracy decay table")
+		engSpd  = flag.Bool("enginespeed", false, "interp vs tbc emulation throughput")
 		all     = flag.Bool("all", false, "run every experiment")
 		scale   = flag.Float64("scale", 0.25, "binary size scale vs the paper")
 		full    = flag.Bool("full", false, "shorthand for -scale 1")
 		iters   = flag.Int("iters", 0, "kernel iterations (0 = default)")
 		spec    = flag.Bool("spec-only", false, "Table 1: SPEC rows only")
+		engine  = flag.String("engine", "tbc", "execution engine: tbc (translation cache) or interp (fallback)")
 		verbose = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
 	if *full {
 		*scale = 1
+	}
+	switch *engine {
+	case "tbc", "interp":
+		workload.Engine = *engine
+	default:
+		fmt.Fprintf(os.Stderr, "e9bench: -engine must be tbc or interp, got %q\n", *engine)
+		os.Exit(2)
 	}
 	opt := eval.Options{Scale: *scale, Iters: *iters}
 	progress := func() *os.File {
@@ -161,8 +174,26 @@ func main() {
 		fmt.Println()
 	}
 
+	if *engSpd || *all {
+		ran = true
+		fmt.Println("== Engine throughput: interp vs tbc (memstream kernel) ==")
+		es, err := eval.MeasureEngines(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("interp %10.2f Minst/s\ntbc    %10.2f Minst/s   speedup %.2fx  (%d instructions/run, counters identical)\n",
+			es.InterpIPS/1e6, es.TBCIPS/1e6, es.Speedup, es.Instructions)
+		fmt.Println()
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Session throughput: every emulated run above contributes.
+	if inst, dur := eval.EmuThroughput(); dur > 0 {
+		fmt.Printf("emulation: %d instructions in %.2fs under engine=%s: %.2f Minst/s\n",
+			inst, dur.Seconds(), *engine, float64(inst)/dur.Seconds()/1e6)
 	}
 }

@@ -229,6 +229,50 @@ func TestDifferentialFuzz(t *testing.T) {
 	}
 }
 
+// FuzzEngines is the engine-differential target: every random program
+// must behave identically under the decode-per-step interpreter and
+// the tbc translation cache — same ExitCode, final registers, flags,
+// output stream, and byte-identical Counters. Under plain `go test`
+// the seed corpus runs; `go test -fuzz=FuzzEngines` explores further.
+func FuzzEngines(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(seed, seed%3 == 0)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, pie bool) {
+		rng := rand.New(rand.NewSource(seed))
+		bin, err := genProgram(rng, pie)
+		if err != nil {
+			t.Skip() // assembler rejected the combination; not an engine bug
+		}
+		run := func(engine string) *emu.Machine {
+			saved := workload.Engine
+			workload.Engine = engine
+			defer func() { workload.Engine = saved }()
+			return fuzzRun(t, bin)
+		}
+		im := run("interp")
+		cm := run("tbc")
+		if im.ExitCode != cm.ExitCode {
+			t.Fatalf("exit: interp %#x, tbc %#x", im.ExitCode, cm.ExitCode)
+		}
+		if im.Regs != cm.Regs || im.RIP != cm.RIP || im.Flags != cm.Flags {
+			t.Fatalf("final state diverged:\ninterp regs=%x rip=%#x flags=%#x\ntbc    regs=%x rip=%#x flags=%#x",
+				im.Regs, im.RIP, im.Flags, cm.Regs, cm.RIP, cm.Flags)
+		}
+		if im.Counters != cm.Counters {
+			t.Fatalf("counters diverged:\ninterp %+v\ntbc    %+v", im.Counters, cm.Counters)
+		}
+		if len(im.Output) != len(cm.Output) {
+			t.Fatalf("output length: interp %d, tbc %d", len(im.Output), len(cm.Output))
+		}
+		for i := range im.Output {
+			if im.Output[i] != cm.Output[i] {
+				t.Fatalf("output[%d]: interp %#x, tbc %#x", i, im.Output[i], cm.Output[i])
+			}
+		}
+	})
+}
+
 func describe(res *Result) string {
 	s := res.Stats
 	return fmt.Sprintf("stats: total=%d B1=%d B2=%d T1=%d T2=%d T3=%d B0=%d failed=%d",

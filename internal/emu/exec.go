@@ -10,41 +10,62 @@ import (
 // Step fetches, decodes and executes one instruction (or services a
 // runtime-call / exit-sentinel address).
 func (m *Machine) Step() error {
+	if handled, err := m.StepSpecial(); handled || err != nil {
+		return err
+	}
+	raw, _ := m.Mem.ReadBytes(m.RIP, 15)
+	inst, err := x86.Decode(raw, m.RIP)
+	if err != nil {
+		return fmt.Errorf("emu: at %#x: %w", m.RIP, err)
+	}
+	return m.ExecDecoded(&inst)
+}
+
+// StepSpecial services the two magic classes of RIP values — the exit
+// sentinel and runtime-call addresses — without touching code bytes.
+// It reports whether RIP was special. Step performs it before every
+// fetch; alternative engines (internal/emu/tbc) perform it at block
+// boundaries, which is equivalent because special addresses are never
+// mapped and so can only be reached by a control transfer.
+func (m *Machine) StepSpecial() (bool, error) {
 	if m.RIP == m.ExitAddr {
 		m.halted = true
 		m.ExitCode = m.Regs[x86.RAX]
-		return nil
+		return true, nil
 	}
 	if fn, ok := m.Runtime[m.RIP]; ok {
 		// Native runtime call: consume the return address pushed by
 		// the calling code, run the binding, return.
 		ret, err := m.pop()
 		if err != nil {
-			return err
+			return true, err
 		}
 		m.Counters.RuntimeCalls++
 		m.Counters.Cycles += m.Cost.Runtime
 		if err := fn(m); err != nil {
-			return err
+			return true, err
 		}
 		m.RIP = ret
-		return nil
+		return true, nil
 	}
+	return false, nil
+}
 
-	raw, _ := m.Mem.ReadBytes(m.RIP, 15)
-	inst, err := x86.Decode(raw, m.RIP)
-	if err != nil {
-		return fmt.Errorf("emu: at %#x: %w", m.RIP, err)
-	}
+// ExecDecoded executes one already-decoded instruction: trace callback,
+// counters, dispatch and the RIP update, exactly as the fetch-decode
+// path of Step. The caller must guarantee inst.Addr == RIP; engines
+// that cache decoded instructions (internal/emu/tbc) satisfy this
+// because straight-line execution leaves RIP at the next cached Addr.
+func (m *Machine) ExecDecoded(inst *x86.Inst) error {
 	if m.Trace != nil {
-		m.Trace(&inst)
+		m.Trace(inst)
 	}
 	m.Counters.Instructions++
 	m.Counters.Cycles += m.Cost.ALU
-	next := m.RIP + uint64(inst.Len)
-	newRIP, err := m.exec(&inst, next)
+	next := inst.Addr + uint64(inst.Len)
+	newRIP, err := m.exec(inst, next)
 	if err != nil {
-		return fmt.Errorf("emu: at %#x (% x): %w", m.RIP, inst.Bytes, err)
+		return fmt.Errorf("emu: at %#x (% x): %w", inst.Addr, inst.Bytes, err)
 	}
 	m.RIP = newRIP
 	return nil

@@ -80,6 +80,10 @@ type page [PageSize]byte
 // Memory is a sparse paged address space.
 type Memory struct {
 	pages map[uint64]*page
+	// barrier, when non-nil, runs before any byte in [addr, addr+size)
+	// is modified. Translation caches hook it to invalidate blocks
+	// decoded from pages that are written (self-modifying code).
+	barrier func(addr, size uint64)
 }
 
 // NewMemory returns an empty address space.
@@ -107,8 +111,15 @@ func (m *Memory) Map(addr, size uint64) {
 	}
 }
 
+// SetWriteBarrier installs fn to run before every store (nil removes
+// it). At most one barrier is active per Memory; the last caller wins.
+func (m *Memory) SetWriteBarrier(fn func(addr, size uint64)) { m.barrier = fn }
+
 // WriteBytes copies b into memory, mapping pages as needed.
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	if m.barrier != nil && len(b) > 0 {
+		m.barrier(addr, uint64(len(b)))
+	}
 	for len(b) > 0 {
 		p := m.pageFor(addr, true)
 		off := addr % PageSize
@@ -152,6 +163,9 @@ func (m *Memory) read(addr uint64, n int) (uint64, error) {
 }
 
 func (m *Memory) write(addr uint64, v uint64, n int) error {
+	if m.barrier != nil {
+		m.barrier(addr, uint64(n))
+	}
 	for i := 0; i < n; i++ {
 		p := m.pageFor(addr+uint64(i), true)
 		p[(addr+uint64(i))%PageSize] = byte(v >> (8 * uint(i)))
@@ -179,12 +193,26 @@ type Counters struct {
 	RuntimeCalls uint64
 }
 
+// Engine is a pluggable execution strategy for Run. A nil Engine is
+// the decode-per-step interpreter; internal/emu/tbc provides a cached
+// basic-block translation engine. Engines must be observationally
+// identical to the interpreter: same Counters, Trace callbacks,
+// runtime-call, SIGTRAP and error behaviour.
+type Engine interface {
+	// Run executes until halt or until the machine's dynamic
+	// instruction count reaches maxInst, mirroring Machine.Run.
+	Run(m *Machine, maxInst uint64) error
+}
+
 // Machine is one emulated hart plus its memory and runtime bindings.
 type Machine struct {
 	Regs  [16]uint64
 	RIP   uint64
 	Flags uint64
 	Mem   *Memory
+
+	// Engine, when non-nil, replaces the interpreter loop in Run.
+	Engine Engine
 
 	Cost     CostModel
 	Counters Counters
@@ -254,6 +282,9 @@ func (m *Machine) SetReg(r x86.Reg, v uint64) { m.Regs[r] = v }
 
 // Run executes until halt or until maxInst instructions have retired.
 func (m *Machine) Run(maxInst uint64) error {
+	if m.Engine != nil {
+		return m.Engine.Run(m, maxInst)
+	}
 	for !m.halted {
 		if m.Counters.Instructions >= maxInst {
 			return fmt.Errorf("%w (%d at rip=%#x)", ErrMaxInstructions, maxInst, m.RIP)

@@ -1,0 +1,132 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMemoryCrossPageReadWrite exercises ReadBytes/WriteBytes spans
+// that straddle page boundaries, the paths the translation cache's
+// fetcher and the loader depend on.
+func TestMemoryCrossPageReadWrite(t *testing.T) {
+	mem := NewMemory()
+	// A 3-page span written in one call, starting mid-page.
+	base := uint64(5*PageSize - 100)
+	data := make([]byte, 2*PageSize+200)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	mem.WriteBytes(base, data)
+
+	got, ok := mem.ReadBytes(base, len(data))
+	if !ok {
+		t.Fatal("ReadBytes reported unmapped bytes inside a written span")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip corrupted data")
+	}
+
+	// Reads that spill past the mapped region zero-fill and clear ok.
+	end := base + uint64(len(data))
+	if !mem.Mapped(end - 1) {
+		t.Fatal("final written byte not mapped")
+	}
+	got, ok = mem.ReadBytes(end-4, PageSize)
+	if ok {
+		t.Error("ReadBytes into unmapped tail should report ok=false")
+	}
+	if !bytes.Equal(got[:4], data[len(data)-4:]) {
+		t.Error("mapped prefix of a partially-mapped read corrupted")
+	}
+	for i, b := range got[4:] {
+		if b != 0 {
+			t.Fatalf("unmapped byte %d read as %#x, want 0", i, b)
+		}
+	}
+}
+
+// TestMemoryScalarCrossPage covers the scalar read/write paths (used by
+// instruction operands) across a page boundary.
+func TestMemoryScalarCrossPage(t *testing.T) {
+	mem := NewMemory()
+	addr := uint64(8*PageSize - 3) // 8-byte value spanning two pages
+	mem.Map(addr, 8)
+	const v = 0x1122334455667788
+	if err := mem.write(addr, v, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.read(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("cross-page scalar read = %#x, want %#x", got, v)
+	}
+
+	// A scalar read touching an unmapped page faults rather than
+	// zero-filling: data accesses are strict, only fetches are lenient.
+	if _, err := mem.read(20*PageSize-2, 4); err == nil {
+		t.Error("scalar read across unmapped page should fault")
+	}
+}
+
+// TestWriteBarrier checks the invalidation hook fires for every store
+// path with the exact address/size written, and that Map (which only
+// creates zero pages) never fires it.
+func TestWriteBarrier(t *testing.T) {
+	mem := NewMemory()
+	type ev struct{ addr, size uint64 }
+	var events []ev
+	mem.SetWriteBarrier(func(addr, size uint64) {
+		events = append(events, ev{addr, size})
+	})
+
+	mem.Map(0x1000, 4*PageSize)
+	if len(events) != 0 {
+		t.Fatalf("Map fired the barrier: %v", events)
+	}
+
+	mem.WriteBytes(0x1ffe, []byte{1, 2, 3, 4}) // cross-page bulk store
+	mem.WriteBytes(0x3000, nil)                // empty store: no event
+	if err := mem.write(0x2ffc, 0xAABBCCDD, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []ev{{0x1ffe, 4}, {0x2ffc, 4}}
+	if len(events) != len(want) {
+		t.Fatalf("barrier events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("barrier event %d = %v, want %v", i, events[i], want[i])
+		}
+	}
+
+	// Removing the barrier stops the callbacks.
+	mem.SetWriteBarrier(nil)
+	mem.WriteBytes(0x1000, []byte{9})
+	if len(events) != len(want) {
+		t.Error("barrier fired after removal")
+	}
+}
+
+// TestBarrierRunsBeforeStore pins the ordering contract: the barrier
+// observes memory in its pre-store state, which is what lets a
+// translation cache invalidate blocks decoded from the old bytes
+// before they change.
+func TestBarrierRunsBeforeStore(t *testing.T) {
+	mem := NewMemory()
+	mem.WriteBytes(0x1000, []byte{0x11})
+	var seen byte
+	mem.SetWriteBarrier(func(addr, size uint64) {
+		b, _ := mem.ReadBytes(0x1000, 1)
+		seen = b[0]
+	})
+	mem.WriteBytes(0x1000, []byte{0x22})
+	if seen != 0x11 {
+		t.Fatalf("barrier saw %#x, want pre-store value 0x11", seen)
+	}
+	b, _ := mem.ReadBytes(0x1000, 1)
+	if b[0] != 0x22 {
+		t.Fatalf("store lost: memory = %#x", b[0])
+	}
+}

@@ -1,0 +1,245 @@
+// Package tbc is a basic-block translation cache for the emulator,
+// in the lineage of QEMU-style dynamic translators: straight-line code
+// is fetched and decoded once into a cached Block, executed by a tight
+// dispatch loop, and blocks are chained across direct branches so hot
+// paths skip the cache lookup entirely.
+//
+// The engine is observationally identical to the decode-per-step
+// interpreter (emu.Machine.Step): same Counters and cycle model, same
+// Trace callback per instruction, same runtime-call / exit-sentinel /
+// SIGTRAP dispatch, and the same errors at the same addresses. The
+// cost model is engine-invariant because every counter update happens
+// inside Machine.ExecDecoded and Machine.StepSpecial, which both
+// engines share; tbc only removes the per-step fetch/decode work.
+//
+// Self-modifying code is handled with a write barrier on Memory: any
+// store landing in a page that holds translated bytes flushes the
+// whole cache, and a flush raised by an instruction inside the
+// currently-executing block aborts that block so the remaining
+// instructions are re-decoded from the new bytes. Rewritten binaries
+// patch .text, so invalidation is correctness-critical, not optional.
+// See DESIGN.md §6.
+package tbc
+
+import (
+	"fmt"
+
+	"e9patch/internal/emu"
+	"e9patch/internal/x86"
+)
+
+// MaxBlockInsts caps the instruction count of one translated block. It
+// bounds translation latency for pathological straight-line runs and
+// keeps the abort-on-flush granularity small.
+const MaxBlockInsts = 64
+
+// termAttrs marks instructions that may not fall through to the next
+// sequential address: they terminate a block.
+const termAttrs = x86.AttrJump | x86.AttrCondJump | x86.AttrCall |
+	x86.AttrRet | x86.AttrStop | x86.AttrInt3
+
+// Block is one translated run of straight-line code.
+type Block struct {
+	start uint64
+	end   uint64 // address one past the final instruction
+	insts []x86.Inst
+
+	// succAddr are the block's static successor addresses (fallthrough
+	// and, for direct branches, the target); succ memoizes their
+	// translated blocks so chained transitions skip the cache map.
+	succAddr [2]uint64
+	succ     [2]*Block
+}
+
+// Stats counts translation-cache events, for tests and tooling.
+type Stats struct {
+	// Translations is the number of blocks decoded.
+	Translations uint64
+	// Lookups is the number of dispatch-loop block transitions.
+	Lookups uint64
+	// Chained is the subset of Lookups resolved via a chain pointer.
+	Chained uint64
+	// Flushes is the number of whole-cache invalidations.
+	Flushes uint64
+}
+
+// Engine is a translation-cache execution engine. An Engine binds to a
+// single Machine's memory via the write barrier; create one per
+// machine (workload.NewMachine does).
+type Engine struct {
+	blocks    map[uint64]*Block
+	codePages map[uint64]struct{}
+	mem       *emu.Memory // memory the write barrier is installed on
+	flushed   bool        // set by the barrier, checked mid-block
+
+	// Stats accumulates cache events across Run calls.
+	Stats Stats
+}
+
+// New returns an empty translation cache.
+func New() *Engine {
+	return &Engine{
+		blocks:    make(map[uint64]*Block),
+		codePages: make(map[uint64]struct{}),
+	}
+}
+
+// invalidate is the Memory write barrier: a store into any page that
+// holds translated bytes drops the whole cache. Full flush keeps chain
+// pointers trivially safe — no stale block survives to be chained into.
+func (e *Engine) invalidate(addr, size uint64) {
+	if len(e.codePages) == 0 || size == 0 {
+		return
+	}
+	for p := addr / emu.PageSize; p <= (addr+size-1)/emu.PageSize; p++ {
+		if _, ok := e.codePages[p]; ok {
+			e.flush()
+			return
+		}
+	}
+}
+
+func (e *Engine) flush() {
+	clear(e.blocks)
+	clear(e.codePages)
+	e.flushed = true
+	e.Stats.Flushes++
+}
+
+// translate decodes the block starting at pc and caches it. A decode
+// failure at pc itself is reported exactly as the interpreter's fetch
+// would report it; a failure later in the run just ends the block
+// early, so the error (if execution ever falls through to it) is
+// raised lazily at the address the interpreter would raise it.
+func (e *Engine) translate(m *emu.Machine, pc uint64) (*Block, error) {
+	b := &Block{start: pc}
+	for {
+		raw, _ := m.Mem.ReadBytes(pc, 15)
+		inst, err := x86.Decode(raw, pc)
+		if err != nil {
+			if len(b.insts) == 0 {
+				return nil, fmt.Errorf("emu: at %#x: %w", pc, err)
+			}
+			break
+		}
+		b.insts = append(b.insts, inst)
+		pc += uint64(inst.Len)
+		if inst.Attrs&termAttrs != 0 || len(b.insts) >= MaxBlockInsts {
+			break
+		}
+	}
+	b.end = pc
+
+	// Static successors for chaining: the fallthrough address (taken
+	// after a not-taken jcc, a size-capped block, or a call's eventual
+	// ret) and a direct branch target when the terminator has one.
+	b.succAddr[0] = b.end
+	if last := &b.insts[len(b.insts)-1]; last.RelSize != 0 {
+		b.succAddr[1] = last.Target()
+	}
+
+	e.blocks[b.start] = b
+	for p := b.start / emu.PageSize; p <= (b.end-1)/emu.PageSize; p++ {
+		e.codePages[p] = struct{}{}
+	}
+	e.Stats.Translations++
+	return b, nil
+}
+
+// Run implements emu.Engine: execute until halt or budget exhaustion,
+// observationally identical to the interpreter loop.
+func (e *Engine) Run(m *emu.Machine, maxInst uint64) error {
+	if e.mem != m.Mem {
+		// First run (or the machine's memory was swapped): bind the
+		// write barrier and start from an empty cache.
+		if e.mem != nil {
+			e.flush()
+		}
+		e.mem = m.Mem
+		m.Mem.SetWriteBarrier(e.invalidate)
+	}
+	e.flushed = false
+
+	var prev *Block // block whose terminator brought us here, for chaining
+	for !m.Halted() {
+		if m.Counters.Instructions >= maxInst {
+			return fmt.Errorf("%w (%d at rip=%#x)", emu.ErrMaxInstructions, maxInst, m.RIP)
+		}
+		if handled, err := m.StepSpecial(); err != nil {
+			return err
+		} else if handled {
+			prev = nil
+			continue
+		}
+
+		if e.flushed {
+			// A flush raised outside block execution (e.g. a runtime
+			// call wrote into translated code): prev points into the
+			// dropped generation, so it must not seed chaining.
+			e.flushed = false
+			prev = nil
+		}
+
+		// Resolve the block at RIP: chain pointer, cache, or translate.
+		pc := m.RIP
+		e.Stats.Lookups++
+		var b *Block
+		if prev != nil {
+			if prev.succAddr[0] == pc && prev.succ[0] != nil {
+				b = prev.succ[0]
+				e.Stats.Chained++
+			} else if prev.succAddr[1] == pc && prev.succ[1] != nil {
+				b = prev.succ[1]
+				e.Stats.Chained++
+			}
+		}
+		if b == nil {
+			b = e.blocks[pc]
+			if b == nil {
+				var err error
+				if b, err = e.translate(m, pc); err != nil {
+					return err
+				}
+			}
+			if prev != nil {
+				if prev.succAddr[0] == pc {
+					prev.succ[0] = b
+				} else if prev.succAddr[1] == pc {
+					prev.succ[1] = b
+				}
+			}
+		}
+		prev = b
+
+		for i := range b.insts {
+			if m.Counters.Instructions >= maxInst {
+				return fmt.Errorf("%w (%d at rip=%#x)", emu.ErrMaxInstructions, maxInst, m.RIP)
+			}
+			inst := &b.insts[i]
+			if m.Trace != nil {
+				// The interpreter hands the tracer the same fresh
+				// decode it then executes; give out a private copy so
+				// a mutating tracer cannot poison the cache.
+				c := *inst
+				c.Bytes = append([]byte(nil), inst.Bytes...)
+				inst = &c
+			}
+			if err := m.ExecDecoded(inst); err != nil {
+				return err
+			}
+			if m.Halted() {
+				break
+			}
+			if e.flushed {
+				// A store landed in translated code. The rest of this
+				// block may hold stale bytes: abandon it and re-decode
+				// from the post-store RIP, exactly what the
+				// interpreter's per-step fetch would observe.
+				e.flushed = false
+				prev = nil
+				break
+			}
+		}
+	}
+	return nil
+}

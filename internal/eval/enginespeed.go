@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"e9patch/internal/emu"
+	"e9patch/internal/emu/tbc"
+	"e9patch/internal/loader"
+	"e9patch/internal/workload"
+)
+
+// emulated accumulates retired instructions and emulation wall-clock
+// across every run in this process, so e9bench can report the
+// session's effective instructions-per-second. Evaluation runs are
+// sequential; no locking needed.
+var emulated struct {
+	inst uint64
+	dur  time.Duration
+}
+
+func noteEmulation(inst uint64, d time.Duration) {
+	emulated.inst += inst
+	emulated.dur += d
+}
+
+// EmuThroughput returns the total instructions retired under the
+// emulator and the wall-clock time spent emulating, process-wide.
+func EmuThroughput() (uint64, time.Duration) {
+	return emulated.inst, emulated.dur
+}
+
+// EngineSpeed compares raw emulation throughput of the two execution
+// engines on the same workload. The counters are asserted identical
+// before the numbers are reported, so the speedup is pure
+// implementation win, never a semantic difference.
+type EngineSpeed struct {
+	// Instructions retired per run (identical for both engines).
+	Instructions uint64
+	// InterpIPS / TBCIPS are wall-clock instructions per second.
+	InterpIPS float64
+	TBCIPS    float64
+	// Speedup is TBCIPS / InterpIPS.
+	Speedup float64
+}
+
+// MeasureEngines runs the largest benchmark kernel (memstream: the
+// highest dynamic instruction count per iteration) under the
+// interpreter and the tbc translation cache and reports wall-clock
+// throughput. Each engine gets trials runs; the best run counts.
+func MeasureEngines(opt Options) (EngineSpeed, error) {
+	opt = opt.withDefaults()
+	iters := opt.Iters
+	if iters == 0 {
+		iters = 150_000
+	}
+	saved := workload.KernelIters
+	workload.KernelIters = iters
+	defer func() { workload.KernelIters = saved }()
+
+	prog, err := workload.BuildKernel("memstream", false)
+	if err != nil {
+		return EngineSpeed{}, err
+	}
+
+	const trials = 3
+	measure := func(mk func() emu.Engine) (float64, emu.Counters, error) {
+		best := 0.0
+		var counters emu.Counters
+		for t := 0; t < trials; t++ {
+			m := workload.NewMachine(nil)
+			m.Engine = mk()
+			entry, err := loader.BuildImage(m, prog.ELF, loader.Options{})
+			if err != nil {
+				return 0, counters, err
+			}
+			m.RIP = entry
+			start := time.Now()
+			if err := m.Run(2_000_000_000); err != nil {
+				return 0, counters, err
+			}
+			dur := time.Since(start)
+			noteEmulation(m.Counters.Instructions, dur)
+			ips := float64(m.Counters.Instructions) / dur.Seconds()
+			if ips > best {
+				best = ips
+			}
+			counters = m.Counters
+		}
+		return best, counters, nil
+	}
+
+	interpIPS, ic, err := measure(func() emu.Engine { return nil })
+	if err != nil {
+		return EngineSpeed{}, err
+	}
+	tbcIPS, tc, err := measure(func() emu.Engine { return tbc.New() })
+	if err != nil {
+		return EngineSpeed{}, err
+	}
+	if ic != tc {
+		return EngineSpeed{}, fmt.Errorf("eval: engines diverged on the speed workload:\ninterp %+v\ntbc    %+v", ic, tc)
+	}
+	return EngineSpeed{
+		Instructions: ic.Instructions,
+		InterpIPS:    interpIPS,
+		TBCIPS:       tbcIPS,
+		Speedup:      tbcIPS / interpIPS,
+	}, nil
+}

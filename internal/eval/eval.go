@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"e9patch"
 	"e9patch/internal/emu"
@@ -111,9 +112,11 @@ func run(bin []byte, prep func(m *emu.Machine)) (*emu.Machine, error) {
 		return nil, err
 	}
 	m.RIP = f
+	start := time.Now()
 	if err := m.Run(2_000_000_000); err != nil {
 		return nil, err
 	}
+	noteEmulation(m.Counters.Instructions, time.Since(start))
 	return m, nil
 }
 

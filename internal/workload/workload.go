@@ -19,6 +19,7 @@ import (
 
 	"e9patch/internal/elf64"
 	"e9patch/internal/emu"
+	"e9patch/internal/emu/tbc"
 	"e9patch/internal/x86"
 )
 
@@ -84,10 +85,20 @@ func BindStandard(m *emu.Machine) {
 	emu.BindNop(m, RTFree)
 }
 
+// Engine selects the execution engine NewMachine installs: "tbc"
+// (decode-once translation cache, the default) or "interp" (the
+// decode-per-step interpreter). The two are observationally identical
+// — tbc only runs faster — so every measurement is engine-invariant;
+// cmd/e9bench's -engine flag sets this for fallback runs.
+var Engine = "tbc"
+
 // NewMachine prepares a machine with the standard runtime bindings and
 // stack. The caller loads a binary and sets RIP.
 func NewMachine(bind MallocBinding) *emu.Machine {
 	m := emu.NewMachine()
+	if Engine != "interp" {
+		m.Engine = tbc.New()
+	}
 	emu.BindOutput(m, RTOutput)
 	emu.BindExit(m, RTExit)
 	if bind == nil {
