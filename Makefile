@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest bench ci
+.PHONY: all build fmt vet test race difftest bench bench-json servertest fuzzshort ci
 
 all: build test
 
@@ -32,4 +32,20 @@ difftest:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-ci: fmt vet race difftest
+# bench-json records the engine-throughput comparison as a
+# machine-readable BENCH_*.json artefact (the perf trajectory).
+bench-json:
+	$(GO) run ./cmd/e9bench -enginespeed -json BENCH_engines.json
+
+# servertest is the e9served smoke test: build the real binary, start
+# it on an ephemeral port, POST a corpus binary, and check the output
+# is byte-identical to a direct e9patch.Rewrite.
+servertest:
+	$(GO) test -run TestServedSmoke -count 1 ./cmd/e9served/
+
+# fuzzshort actually explores the engine-differential fuzzer for a few
+# seconds (plain `go test` only replays the seed corpus).
+fuzzshort:
+	$(GO) test -run '^FuzzEngines$$' -fuzz '^FuzzEngines$$' -fuzztime 5s .
+
+ci: fmt vet race difftest servertest fuzzshort

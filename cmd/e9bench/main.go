@@ -18,17 +18,49 @@
 // (default 0.25); -full is shorthand for -scale 1. -engine selects the
 // execution engine (tbc translation cache by default, interp to fall
 // back to the decode-per-step interpreter); every run ends with an
-// instructions-per-second line for the session.
+// instructions-per-second line for the session. -json PATH additionally
+// writes the session's machine-readable results (engine, workload,
+// instructions/sec, speedup) for the BENCH_*.json trajectory
+// (`make bench-json`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"e9patch/internal/eval"
 	"e9patch/internal/workload"
 )
+
+// jsonReport is the machine-readable result file written by -json: the
+// start of the repo's BENCH_*.json trajectory, so performance can be
+// tracked across commits without scraping stdout.
+type jsonReport struct {
+	GeneratedAt string           `json:"generatedAt"`
+	Scale       float64          `json:"scale"`
+	Engine      string           `json:"engine"`
+	EngineSpeed *engineSpeedJSON `json:"engineSpeed,omitempty"`
+	Emulation   *emulationJSON   `json:"emulation,omitempty"`
+}
+
+// engineSpeedJSON mirrors eval.EngineSpeed for the -enginespeed run.
+type engineSpeedJSON struct {
+	Workload     string  `json:"workload"`
+	Instructions uint64  `json:"instructions"`
+	InterpIPS    float64 `json:"interpInstPerSec"`
+	TBCIPS       float64 `json:"tbcInstPerSec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// emulationJSON is the session-wide emulation throughput.
+type emulationJSON struct {
+	Instructions uint64  `json:"instructions"`
+	Seconds      float64 `json:"seconds"`
+	InstPerSec   float64 `json:"instPerSec"`
+}
 
 func main() {
 	var (
@@ -47,6 +79,7 @@ func main() {
 		iters   = flag.Int("iters", 0, "kernel iterations (0 = default)")
 		spec    = flag.Bool("spec-only", false, "Table 1: SPEC rows only")
 		engine  = flag.String("engine", "tbc", "execution engine: tbc (translation cache) or interp (fallback)")
+		jsonOut = flag.String("json", "", "write machine-readable results to this path")
 		verbose = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -174,6 +207,12 @@ func main() {
 		fmt.Println()
 	}
 
+	report := jsonReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scale,
+		Engine:      *engine,
+	}
+
 	if *engSpd || *all {
 		ran = true
 		fmt.Println("== Engine throughput: interp vs tbc (memstream kernel) ==")
@@ -184,6 +223,13 @@ func main() {
 		fmt.Printf("interp %10.2f Minst/s\ntbc    %10.2f Minst/s   speedup %.2fx  (%d instructions/run, counters identical)\n",
 			es.InterpIPS/1e6, es.TBCIPS/1e6, es.Speedup, es.Instructions)
 		fmt.Println()
+		report.EngineSpeed = &engineSpeedJSON{
+			Workload:     "memstream",
+			Instructions: es.Instructions,
+			InterpIPS:    es.InterpIPS,
+			TBCIPS:       es.TBCIPS,
+			Speedup:      es.Speedup,
+		}
 	}
 
 	if !ran {
@@ -195,5 +241,21 @@ func main() {
 	if inst, dur := eval.EmuThroughput(); dur > 0 {
 		fmt.Printf("emulation: %d instructions in %.2fs under engine=%s: %.2f Minst/s\n",
 			inst, dur.Seconds(), *engine, float64(inst)/dur.Seconds()/1e6)
+		report.Emulation = &emulationJSON{
+			Instructions: inst,
+			Seconds:      dur.Seconds(),
+			InstPerSec:   float64(inst) / dur.Seconds(),
+		}
+	}
+
+	if *jsonOut != "" {
+		j, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(j, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }

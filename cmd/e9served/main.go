@@ -1,0 +1,99 @@
+// Command e9served serves binary rewrites over HTTP: a concurrent
+// front to the e9patch library with a bounded worker pool,
+// content-addressed result caching, singleflight coalescing and
+// backpressure (see internal/server and DESIGN.md §7).
+//
+// Usage:
+//
+//	e9served                         # listen on 127.0.0.1:8233
+//	e9served -addr :8233 -workers 8 -queue 128 -cache-mb 512
+//
+// API:
+//
+//	POST /v1/rewrite?match=EXPR[&action=ACT&...]   body = ELF bytes
+//	    → 200 rewritten binary; X-E9-Stats (JSON), X-E9-Cache headers
+//	    → 429 + Retry-After under overload; 504 past the time budget
+//	GET  /healthz                                   liveness/drain
+//	GET  /metrics                                   Prometheus text
+//
+// Example:
+//
+//	curl -s --data-binary @input.bin \
+//	    'localhost:8233/v1/rewrite?match=jcc+%26+short&action=empty' \
+//	    -o patched.bin -D -
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, open
+// requests get -drain time to finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"e9patch/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8233", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		queue     = flag.Int("queue", 64, "bounded queue length (backpressure beyond this)")
+		cacheMB   = flag.Int("cache-mb", 256, "result cache budget in MiB")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-rewrite time budget (queue wait included)")
+		maxBodyMB = flag.Int("max-body-mb", 64, "maximum request body in MiB")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueLen:     *queue,
+		CacheBytes:   int64(*cacheMB) << 20,
+		Timeout:      *timeout,
+		MaxBodyBytes: int64(*maxBodyMB) << 20,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e9served: %v\n", err)
+		os.Exit(1)
+	}
+	// The exact line the smoke test (and humans with -addr :0) parse.
+	fmt.Printf("e9served listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		fmt.Println("e9served: draining")
+		srv.BeginDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "e9served: shutdown: %v\n", err)
+		}
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "e9served: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+	srv.Close()
+	fmt.Println("e9served: bye")
+}

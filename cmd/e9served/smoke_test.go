@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/workload"
+)
+
+// TestServedSmoke is the CI smoke test: build the real e9served
+// binary, start it on an ephemeral port, POST a corpus binary, and
+// verify the served output is byte-identical to a direct
+// e9patch.Rewrite with the same configuration. SIGTERM must then drain
+// cleanly.
+func TestServedSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "e9served")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line from e9served: %v", sc.Err())
+	}
+	line := sc.Text()
+	const prefix = "e9served listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimPrefix(line, prefix)
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	saved := workload.KernelIters
+	workload.KernelIters = 1500
+	defer func() { workload.KernelIters = saved }()
+	prog, err := workload.BuildKernel("branchy", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Post(base+"/v1/rewrite?match=jcc+%26+short", "application/octet-stream",
+		bytes.NewReader(prog.ELF))
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rewrite status %d: %s", resp.StatusCode, served)
+	}
+
+	sel, err := e9patch.SelectMatch("jcc & short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e9patch.Rewrite(prog.ELF, e9patch.Config{Select: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, direct.Output) {
+		t.Fatalf("served output (%d bytes) differs from direct rewrite (%d bytes)",
+			len(served), len(direct.Output))
+	}
+
+	// Graceful drain on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("e9served exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("e9served did not exit within 15s of SIGTERM")
+	}
+}

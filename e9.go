@@ -19,6 +19,7 @@
 package e9patch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -140,6 +141,10 @@ type Result struct {
 	// Locations records the per-location outcome (address in runtime
 	// coordinates and the tactic that succeeded), in patch order.
 	Locations []patch.LocResult
+	// Warnings lists non-fatal anomalies detected during the rewrite,
+	// e.g. an address-based selector that matched nothing because its
+	// addresses looked file-relative for a PIE binary.
+	Warnings []string
 }
 
 // SizePercent returns the output/input file size ratio in percent
@@ -151,6 +156,24 @@ func (r *Result) SizePercent() float64 {
 // Rewrite statically rewrites the binary according to cfg. The input
 // slice is not modified.
 func Rewrite(input []byte, cfg Config) (*Result, error) {
+	return RewriteContext(context.Background(), input, cfg)
+}
+
+// ctxErr converts a context cancellation into the rewrite error
+// returned at phase boundaries.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("e9patch: rewrite aborted: %w", err)
+	}
+	return nil
+}
+
+// RewriteContext is Rewrite with cancellation: the pipeline checks ctx
+// at every phase boundary (parse → disasm → match → patch →
+// trampoline/group → emit) and inside the patching loop, so a rewrite
+// whose caller has gone away stops early instead of emitting an output
+// nobody will read. The returned error wraps ctx.Err() when aborted.
+func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, error) {
 	if cfg.Select == nil {
 		return nil, errors.New("e9patch: Config.Select is required")
 	}
@@ -159,6 +182,10 @@ func Rewrite(input []byte, cfg Config) (*Result, error) {
 	}
 	if cfg.Granularity == 0 {
 		cfg.Granularity = 1
+	}
+
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 
 	// Work on a copy: PatchBytes mutates File.Data.
@@ -183,7 +210,17 @@ func Rewrite(input []byte, cfg Config) (*Result, error) {
 	rtTextAddr := textAddr + bias
 
 	// The frontend: linear disassembly, locations and sizes only.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	dres := disasm.Linear(text[cfg.SkipPrefix:], rtTextAddr+cfg.SkipPrefix)
+
+	// Match phase: run the selector over the disassembly.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	selected := cfg.Select(dres.Insts)
+	warnings := diagnoseSelection(cfg.Select, dres.Insts, selected, bias)
 
 	// Address-space model: all loaded segments are off limits
 	// (page-rounded, since the loader maps whole pages), as are any
@@ -207,10 +244,18 @@ func Rewrite(input []byte, cfg Config) (*Result, error) {
 	_, loadHi := f.LoadBounds()
 	poolHint := (loadHi + bias + 2*elf64.PageSize) &^ (elf64.PageSize - 1)
 
+	// Patch phase: the heavy loop also polls ctx between locations.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	popts := cfg.Patch
 	popts.Template = cfg.Template
+	popts.Cancel = ctx.Done()
 	rw := patch.New(text, rtTextAddr, dres.Insts, space, poolHint, popts)
-	stats := rw.PatchAll(cfg.Select(dres.Insts))
+	stats := rw.PatchAll(selected)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Apply the patched text strictly in place.
 	if err := f.PatchBytes(textAddr, rw.Code()); err != nil {
@@ -237,6 +282,10 @@ func Rewrite(input []byte, cfg Config) (*Result, error) {
 		gres = ungroup(gres)
 	}
 
+	// Emit phase: encode the loader blob and append it.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	sig := make(map[uint64]uint64, len(rw.SigTab()))
 	for k, v := range rw.SigTab() {
 		sig[k-bias] = v - bias
@@ -256,7 +305,34 @@ func Rewrite(input []byte, cfg Config) (*Result, error) {
 		Bias:        bias,
 		Trampolines: len(trs),
 		Locations:   rw.Results(),
+		Warnings:    warnings,
 	}, nil
+}
+
+// diagnoseSelection explains an empty selection on a PIE binary: the
+// most common cause is an address-based selector (SelectAddresses or an
+// addr= matcher) fed file-relative addresses, which never match because
+// PIE instructions carry runtime addresses (file offset + PIEBase). The
+// check is selector-agnostic: re-run the selector over a view of the
+// disassembly with the load bias removed; if it now matches, the input
+// addresses were file-relative.
+func diagnoseSelection(sel Selector, insts []x86.Inst, selected []int, bias uint64) []string {
+	if len(selected) != 0 || bias == 0 || len(insts) == 0 {
+		return nil
+	}
+	shifted := make([]x86.Inst, len(insts))
+	copy(shifted, insts)
+	for i := range shifted {
+		shifted[i].Addr -= bias
+	}
+	n := len(sel(shifted))
+	if n == 0 {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"0 locations selected, but %d would match without the PIE load bias: "+
+			"input addresses looked file-relative (< PIEBase); pass runtime "+
+			"addresses (file address + e9patch.PIEBase) for PIE binaries", n)}
 }
 
 // reserveMerged reserves [lo, hi), tolerating overlap with existing

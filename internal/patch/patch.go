@@ -79,6 +79,11 @@ type Options struct {
 	// windows cannot afford alignment, so this applies only to
 	// unconstrained allocations).
 	TrampolineAlign uint64
+	// Cancel, when non-nil, makes PatchAll stop between locations once
+	// the channel is closed (typically a context's Done channel).
+	// Remaining locations are left unpatched; the caller is expected
+	// to notice the cancellation and discard the partial result.
+	Cancel <-chan struct{}
 }
 
 // Trampoline is one emitted trampoline.
@@ -237,7 +242,14 @@ func (r *Rewriter) PatchAll(indices []int) Stats {
 	sort.Slice(order, func(a, b int) bool {
 		return r.insts[order[a]].Addr > r.insts[order[b]].Addr
 	})
-	for _, idx := range order {
+	for i, idx := range order {
+		if r.opts.Cancel != nil && i&0xFF == 0 {
+			select {
+			case <-r.opts.Cancel:
+				return r.stats
+			default:
+			}
+		}
 		r.patchOne(idx)
 	}
 	return r.stats

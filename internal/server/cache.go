@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// cacheEntry is one cached rewrite outcome: the output binary plus the
+// pre-serialised stats JSON served in the response header.
+type cacheEntry struct {
+	key       string
+	out       []byte
+	statsJSON []byte
+}
+
+// size is the entry's byte charge against the cache budget.
+func (e *cacheEntry) size() int64 { return int64(len(e.out) + len(e.statsJSON)) }
+
+// cacheKey derives the content address of a rewrite: the SHA-256 of
+// the input binary joined with the SHA-256 of the canonicalised
+// request spec. Identical bytes + identical effective config → same
+// key, regardless of parameter spelling or ordering.
+func cacheKey(body []byte, spec *Spec) string {
+	hb := sha256.Sum256(body)
+	hs := sha256.Sum256([]byte(spec.Canonical()))
+	return hex.EncodeToString(hb[:]) + "-" + hex.EncodeToString(hs[:])
+}
+
+// lruCache is a byte-budgeted LRU over rewrite results. Eviction is by
+// total byte charge, not entry count: one huge binary can evict many
+// small ones, never the reverse surprise.
+type lruCache struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	ll        *list.List // front = most recently used; values are *cacheEntry
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+func newLRUCache(budget int64) *lruCache {
+	return &lruCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, refreshing its recency.
+func (c *lruCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts (or refreshes) an entry, evicting least-recently-used
+// entries until the byte budget holds. Entries larger than the whole
+// budget are not cached.
+func (c *lruCache) put(e *cacheEntry) {
+	if e.size() > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		c.used += e.size() - el.Value.(*cacheEntry).size()
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[e.key] = c.ll.PushFront(e)
+		c.used += e.size()
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, victim.key)
+		c.used -= victim.size()
+		c.evictions++
+	}
+}
+
+// stats reports entry count, used bytes and lifetime evictions.
+func (c *lruCache) stats() (entries int, bytes int64, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.used, c.evictions
+}

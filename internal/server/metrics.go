@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Metrics is a hand-rolled metrics registry exposed in Prometheus text
+// format (the module has no dependencies, so no client library). All
+// mutators are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64 // by HTTP status code
+	rewrites  uint64            // underlying RewriteContext invocations
+	hits      uint64            // result-cache hits
+	misses    uint64            // result-cache misses
+	coalesced uint64            // requests that shared another request's flight
+	queueFull uint64            // submissions rejected by backpressure
+	inflight  int64             // requests currently being handled
+
+	buckets []uint64 // len(latencyBuckets)+1, last slot is +Inf
+	latSum  float64
+	latN    uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]uint64),
+		buckets:  make([]uint64, len(latencyBuckets)+1),
+	}
+}
+
+// IncRequest counts one finished request by status code.
+func (m *Metrics) IncRequest(code string) {
+	m.mu.Lock()
+	m.requests[code]++
+	m.mu.Unlock()
+}
+
+// IncRewrite counts one underlying rewrite execution.
+func (m *Metrics) IncRewrite() { m.inc(&m.rewrites) }
+
+// IncHit / IncMiss / IncCoalesced / IncQueueFull count cache and
+// coalescing outcomes.
+func (m *Metrics) IncHit()       { m.inc(&m.hits) }
+func (m *Metrics) IncMiss()      { m.inc(&m.misses) }
+func (m *Metrics) IncCoalesced() { m.inc(&m.coalesced) }
+func (m *Metrics) IncQueueFull() { m.inc(&m.queueFull) }
+
+func (m *Metrics) inc(p *uint64) {
+	m.mu.Lock()
+	*p++
+	m.mu.Unlock()
+}
+
+// AddInflight adjusts the in-flight request gauge.
+func (m *Metrics) AddInflight(d int64) {
+	m.mu.Lock()
+	m.inflight += d
+	m.mu.Unlock()
+}
+
+// Observe records one request latency in seconds.
+func (m *Metrics) Observe(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
+		i++
+	}
+	m.buckets[i]++
+	m.latSum += seconds
+	m.latN++
+}
+
+// Gauges carries point-in-time values owned by other components,
+// sampled at scrape time.
+type Gauges struct {
+	QueueDepth     int
+	CacheEntries   int
+	CacheBytes     int64
+	CacheEvictions uint64
+	Workers        int
+}
+
+// WriteText renders the registry in Prometheus text exposition format.
+func (m *Metrics) WriteText(w io.Writer, g Gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP e9served_requests_total Finished HTTP requests by status code.\n")
+	fmt.Fprintf(w, "# TYPE e9served_requests_total counter\n")
+	codes := make([]string, 0, len(m.requests))
+	for c := range m.requests {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "e9served_requests_total{code=%q} %d\n", c, m.requests[c])
+	}
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("e9served_rewrites_total", "Underlying rewrite pipeline executions.", m.rewrites)
+	counter("e9served_cache_hits_total", "Result-cache hits.", m.hits)
+	counter("e9served_cache_misses_total", "Result-cache misses.", m.misses)
+	counter("e9served_cache_evictions_total", "Result-cache evictions.", g.CacheEvictions)
+	counter("e9served_coalesced_total", "Requests coalesced onto another request's rewrite.", m.coalesced)
+	counter("e9served_queue_full_total", "Requests rejected because the work queue was full.", m.queueFull)
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("e9served_inflight", "Requests currently being handled.", m.inflight)
+	gauge("e9served_queue_depth", "Jobs queued but not yet started.", int64(g.QueueDepth))
+	gauge("e9served_workers", "Worker pool size.", int64(g.Workers))
+	gauge("e9served_cache_entries", "Result-cache entry count.", int64(g.CacheEntries))
+	gauge("e9served_cache_bytes", "Result-cache bytes in use.", g.CacheBytes)
+
+	fmt.Fprintf(w, "# HELP e9served_request_duration_seconds Request latency.\n")
+	fmt.Fprintf(w, "# TYPE e9served_request_duration_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.buckets[i]
+		fmt.Fprintf(w, "e9served_request_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "e9served_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "e9served_request_duration_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "e9served_request_duration_seconds_count %d\n", m.latN)
+}
+
+// trimFloat formats a bucket bound the way Prometheus clients do
+// (no trailing zeros).
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

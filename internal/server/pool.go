@@ -1,0 +1,71 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// errQueueFull is returned by trySubmit when the bounded queue cannot
+// accept another job; the HTTP layer maps it to 429 + Retry-After.
+var errQueueFull = errors.New("server: work queue full")
+
+// pool is a fixed-size worker pool over a bounded job queue. The queue
+// bound is the service's backpressure mechanism: when rewrites arrive
+// faster than the workers drain them, submission fails immediately
+// instead of stacking goroutines until the process dies.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPool starts workers goroutines over a queue of queueLen slots.
+func newPool(workers, queueLen int) *pool {
+	p := &pool{jobs: make(chan func(), queueLen)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues fn without blocking. It returns errQueueFull when
+// the queue is at capacity and errPoolClosed-like failure (also
+// errQueueFull) after close; fn is then never run.
+func (p *pool) trySubmit(fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errQueueFull
+	}
+	select {
+	case p.jobs <- fn:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth reports the number of queued-but-unstarted jobs.
+func (p *pool) depth() int { return len(p.jobs) }
+
+// close stops accepting jobs and waits for queued and running jobs to
+// finish.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

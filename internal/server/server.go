@@ -1,0 +1,290 @@
+// Package server implements e9served, a concurrent rewrite service
+// over the e9patch library: POST an ELF binary with a matcher
+// expression and tactic switches, get the rewritten binary back.
+//
+// The service is shaped for sustained batch traffic rather than
+// one-shot CLI use (the deployability bar of the broad rewriter
+// evaluations — see DESIGN.md §7):
+//
+//   - a bounded worker pool over a bounded queue: overload returns
+//     429 + Retry-After instead of unbounded goroutines (backpressure);
+//   - a content-addressed result cache keyed by sha256(binary) +
+//     canonicalised config, with byte-budgeted LRU eviction;
+//   - singleflight coalescing: N concurrent identical requests trigger
+//     exactly one rewrite;
+//   - per-request timeouts and real cancellation, threaded through the
+//     rewrite pipeline via e9patch.RewriteContext;
+//   - hand-rolled Prometheus text metrics (the module stays
+//     dependency-free).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/patch"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueLen bounds the job queue (default 64); submissions beyond
+	// it are rejected with 429.
+	QueueLen int
+	// CacheBytes is the result-cache byte budget (default 256 MiB).
+	CacheBytes int64
+	// Timeout bounds one rewrite job, queue wait included (default
+	// 60s; 0 keeps the default, negative disables).
+	Timeout time.Duration
+	// MaxBodyBytes bounds the request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// RewriteFunc executes one rewrite; tests substitute it to gate and
+// count executions.
+type RewriteFunc func(ctx context.Context, binary []byte, spec *Spec) (*e9patch.Result, error)
+
+// Server is the rewrite service. Create with New, mount Handler, and
+// Close after the HTTP server has drained.
+type Server struct {
+	cfg      Config
+	pool     *pool
+	cache    *lruCache
+	flights  *flightGroup
+	metrics  *Metrics
+	rewrite  RewriteFunc
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server with cfg (zero values take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.Workers, cfg.QueueLen),
+		cache:   newLRUCache(cfg.CacheBytes),
+		flights: newFlightGroup(),
+		metrics: NewMetrics(),
+	}
+	s.rewrite = func(ctx context.Context, binary []byte, spec *Spec) (*e9patch.Result, error) {
+		rcfg, err := spec.Config()
+		if err != nil {
+			return nil, err
+		}
+		return e9patch.RewriteContext(ctx, binary, rcfg)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (e.g. for embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing new
+// work while in-flight requests complete.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close waits for queued and running jobs to finish. Call only after
+// the HTTP server has stopped accepting requests.
+func (s *Server) Close() { s.pool.close() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	entries, bytes, evictions := s.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w, Gauges{
+		QueueDepth:     s.pool.depth(),
+		CacheEntries:   entries,
+		CacheBytes:     bytes,
+		CacheEvictions: evictions,
+		Workers:        s.cfg.Workers,
+	})
+}
+
+// rewriteStats is the JSON served in the X-E9-Stats response header.
+type rewriteStats struct {
+	Total       int      `json:"total"`
+	Patched     int      `json:"patched"`
+	Failed      int      `json:"failed"`
+	B1          int      `json:"B1"`
+	B2          int      `json:"B2"`
+	T1          int      `json:"T1"`
+	T2          int      `json:"T2"`
+	T3          int      `json:"T3"`
+	B0          int      `json:"B0"`
+	Insts       int      `json:"insts"`
+	Trampolines int      `json:"trampolines"`
+	Mappings    int      `json:"mappings"`
+	InputSize   int      `json:"inputSize"`
+	OutputSize  int      `json:"outputSize"`
+	Warnings    []string `json:"warnings,omitempty"`
+}
+
+// entryFromResult freezes a rewrite result into a cache entry.
+func entryFromResult(key string, res *e9patch.Result) *cacheEntry {
+	st := rewriteStats{
+		Total:       res.Stats.Total,
+		Patched:     res.Stats.Patched(),
+		Failed:      res.Stats.Failed,
+		B1:          res.Stats.ByTactic[patch.TacticB1],
+		B2:          res.Stats.ByTactic[patch.TacticB2],
+		T1:          res.Stats.ByTactic[patch.TacticT1],
+		T2:          res.Stats.ByTactic[patch.TacticT2],
+		T3:          res.Stats.ByTactic[patch.TacticT3],
+		B0:          res.Stats.ByTactic[patch.TacticB0],
+		Insts:       res.Insts,
+		Trampolines: res.Trampolines,
+		Mappings:    res.Mappings,
+		InputSize:   res.InputSize,
+		OutputSize:  res.OutputSize,
+		Warnings:    res.Warnings,
+	}
+	j, err := json.Marshal(st)
+	if err != nil { // struct of ints and strings: cannot fail
+		j = []byte("{}")
+	}
+	return &cacheEntry{key: key, out: res.Output, statsJSON: j}
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.AddInflight(1)
+	code := "200"
+	defer func() {
+		s.metrics.AddInflight(-1)
+		s.metrics.IncRequest(code)
+		s.metrics.Observe(time.Since(start).Seconds())
+	}()
+	fail := func(status int, msg string) {
+		code = fmt.Sprint(status)
+		http.Error(w, msg, status)
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fail(http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		code = "499" // client went away mid-upload
+		return
+	}
+	if len(body) == 0 {
+		fail(http.StatusBadRequest, "empty body: POST the ELF binary to rewrite")
+		return
+	}
+	spec, err := parseSpec(r)
+	if err != nil {
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := cacheKey(body, spec)
+	if e, ok := s.cache.get(key); ok {
+		s.metrics.IncHit()
+		s.serve(w, e, "hit")
+		return
+	}
+	s.metrics.IncMiss()
+
+	entry, shared, err := s.flights.do(r.Context(), key, s.cfg.Timeout,
+		func(jobCtx context.Context, finish func(*cacheEntry, error)) error {
+			submitErr := s.pool.trySubmit(func() {
+				if err := jobCtx.Err(); err != nil {
+					finish(nil, err) // every waiter left while queued
+					return
+				}
+				s.metrics.IncRewrite()
+				res, err := s.rewrite(jobCtx, body, spec)
+				if err != nil {
+					finish(nil, err)
+					return
+				}
+				e := entryFromResult(key, res)
+				s.cache.put(e)
+				finish(e, nil)
+			})
+			if submitErr != nil {
+				s.metrics.IncQueueFull()
+			}
+			return submitErr
+		})
+	if shared {
+		s.metrics.IncCoalesced()
+	}
+	switch {
+	case err == nil:
+		status := "miss"
+		if shared {
+			status = "coalesced"
+		}
+		s.serve(w, entry, status)
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusTooManyRequests, "work queue full; retry later")
+	case errors.Is(err, context.DeadlineExceeded):
+		fail(http.StatusGatewayTimeout,
+			fmt.Sprintf("rewrite exceeded the %s budget", s.cfg.Timeout))
+	case errors.Is(err, context.Canceled):
+		code = "499" // our own client gave up; nothing to write
+	default:
+		fail(http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+// serve writes a completed rewrite: stats and cache status in headers,
+// the rewritten binary as the body.
+func (s *Server) serve(w http.ResponseWriter, e *cacheEntry, cacheStatus string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", fmt.Sprint(len(e.out)))
+	h.Set("X-E9-Stats", string(e.statsJSON))
+	h.Set("X-E9-Cache", cacheStatus)
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.out)
+}

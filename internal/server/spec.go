@@ -1,0 +1,220 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"e9patch"
+	"e9patch/internal/lowfat"
+	"e9patch/internal/patch"
+	"e9patch/internal/trampoline"
+)
+
+// Spec is the rewrite configuration of one request, normalised so that
+// equivalent requests canonicalise to the same cache key. Parameters
+// are read from query values or X-E9-* headers (header wins), mirroring
+// cmd/e9tool's flags:
+//
+//	match       matcher expression (required), e.g. "jcc & short"
+//	action      empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap
+//	granularity page-grouping granularity M (default 1, -1 disables)
+//	skip        skip first N bytes of .text
+//	disable-t1 / disable-t2 / disable-t3   tactic ablations
+//	b0-fallback / force-b0                 int3 tactics
+//	reserve     extra reserved VA ranges, "0xLO-0xHI", repeatable or
+//	            comma-separated
+type Spec struct {
+	Match       string
+	Action      string
+	Granularity int
+	SkipPrefix  uint64
+	DisableT1   bool
+	DisableT2   bool
+	DisableT3   bool
+	B0Fallback  bool
+	ForceB0     bool
+	Reserve     [][2]uint64
+}
+
+// parseSpec extracts and validates the Spec of a rewrite request.
+func parseSpec(r *http.Request) (*Spec, error) {
+	q := r.URL.Query()
+	get := func(name string) string {
+		if v := r.Header.Get("X-E9-" + name); v != "" {
+			return v
+		}
+		return q.Get(name)
+	}
+	getBool := func(name string) (bool, error) {
+		v := get(name)
+		if v == "" {
+			return false, nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return false, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		return b, nil
+	}
+
+	s := &Spec{Match: get("match"), Action: get("action"), Granularity: 1}
+	if s.Match == "" {
+		return nil, fmt.Errorf("parameter match is required (e.g. ?match=jcc+%%26+short)")
+	}
+	if s.Action == "" {
+		s.Action = "empty"
+	}
+	if v := get("granularity"); v != "" {
+		g, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("parameter granularity: %w", err)
+		}
+		s.Granularity = g
+	}
+	if v := get("skip"); v != "" {
+		sk, err := strconv.ParseUint(v, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter skip: %w", err)
+		}
+		s.SkipPrefix = sk
+	}
+	var err error
+	if s.DisableT1, err = getBool("disable-t1"); err != nil {
+		return nil, err
+	}
+	if s.DisableT2, err = getBool("disable-t2"); err != nil {
+		return nil, err
+	}
+	if s.DisableT3, err = getBool("disable-t3"); err != nil {
+		return nil, err
+	}
+	if s.B0Fallback, err = getBool("b0-fallback"); err != nil {
+		return nil, err
+	}
+	if s.ForceB0, err = getBool("force-b0"); err != nil {
+		return nil, err
+	}
+
+	ranges := q["reserve"]
+	if h := r.Header.Get("X-E9-Reserve"); h != "" {
+		ranges = append(ranges, h)
+	}
+	for _, rv := range ranges {
+		for _, one := range strings.Split(rv, ",") {
+			one = strings.TrimSpace(one)
+			if one == "" {
+				continue
+			}
+			lo, hi, ok := strings.Cut(one, "-")
+			if !ok {
+				return nil, fmt.Errorf("parameter reserve: want 0xLO-0xHI, got %q", one)
+			}
+			l, err := strconv.ParseUint(strings.TrimSpace(lo), 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parameter reserve: %w", err)
+			}
+			h, err := strconv.ParseUint(strings.TrimSpace(hi), 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parameter reserve: %w", err)
+			}
+			if h <= l {
+				return nil, fmt.Errorf("parameter reserve: empty range %q", one)
+			}
+			s.Reserve = append(s.Reserve, [2]uint64{l, h})
+		}
+	}
+	sort.Slice(s.Reserve, func(a, b int) bool {
+		if s.Reserve[a][0] != s.Reserve[b][0] {
+			return s.Reserve[a][0] < s.Reserve[b][0]
+		}
+		return s.Reserve[a][1] < s.Reserve[b][1]
+	})
+
+	// Validate eagerly so bad requests fail with 400 before queueing.
+	if _, err := e9patch.SelectMatch(s.Match); err != nil {
+		return nil, err
+	}
+	if _, err := s.template(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Canonical renders the spec as a stable string: fixed field order,
+// normalised defaults, sorted reserve ranges. Note the matcher
+// expression itself is embedded verbatim — "jcc&short" and
+// "jcc & short" are distinct keys even though they compile to the same
+// predicate; canonicalisation covers parameters, not expression
+// algebra.
+func (s *Spec) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "match=%s|action=%s|M=%d|skip=%d|t1=%t|t2=%t|t3=%t|b0=%t|forceb0=%t",
+		s.Match, s.Action, s.Granularity, s.SkipPrefix,
+		!s.DisableT1, !s.DisableT2, !s.DisableT3, s.B0Fallback, s.ForceB0)
+	for _, r := range s.Reserve {
+		fmt.Fprintf(&b, "|reserve=%#x-%#x", r[0], r[1])
+	}
+	return b.String()
+}
+
+// template resolves the action string to a trampoline template and any
+// extra reserved ranges it needs.
+func (s *Spec) template() (e9patch.Template, error) {
+	switch {
+	case s.Action == "empty":
+		return trampoline.Empty{}, nil
+	case strings.HasPrefix(s.Action, "counter="):
+		addr, err := strconv.ParseUint(s.Action[len("counter="):], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("action counter: %w", err)
+		}
+		return trampoline.Counter{Addr: addr}, nil
+	case strings.HasPrefix(s.Action, "contextcall="):
+		addr, err := strconv.ParseUint(s.Action[len("contextcall="):], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("action contextcall: %w", err)
+		}
+		return trampoline.ContextCall{Fn: addr}, nil
+	case s.Action == "lowfat":
+		return lowfat.CheckTemplate{}, nil
+	case s.Action == "lowfat-trap":
+		return lowfat.CheckTemplate{Trap: true}, nil
+	default:
+		return nil, fmt.Errorf("unknown action %q", s.Action)
+	}
+}
+
+// Config builds the e9patch.Config the spec describes.
+func (s *Spec) Config() (e9patch.Config, error) {
+	sel, err := e9patch.SelectMatch(s.Match)
+	if err != nil {
+		return e9patch.Config{}, err
+	}
+	tmpl, err := s.template()
+	if err != nil {
+		return e9patch.Config{}, err
+	}
+	cfg := e9patch.Config{
+		Select:      sel,
+		Template:    tmpl,
+		Granularity: s.Granularity,
+		SkipPrefix:  s.SkipPrefix,
+		Patch: patch.Options{
+			DisableT1:  s.DisableT1,
+			DisableT2:  s.DisableT2,
+			DisableT3:  s.DisableT3,
+			B0Fallback: s.B0Fallback,
+			ForceB0:    s.ForceB0,
+		},
+	}
+	for _, r := range s.Reserve {
+		cfg.ReserveVA = append(cfg.ReserveVA, r)
+	}
+	if strings.HasPrefix(s.Action, "lowfat") {
+		cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
+	}
+	return cfg, nil
+}

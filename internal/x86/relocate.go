@@ -25,3 +25,34 @@ func RelocateSimple(i *Inst, newAddr uint64) ([]byte, error) {
 	put32(out[i.DispOff:], uint32(int32(newDisp)))
 	return out, nil
 }
+
+// RelocateBranch re-encodes a direct branch (jmp rel8/rel32, jcc
+// rel8/rel32, call rel32) so that it reaches its original absolute
+// target from newAddr. rel8 encodings are widened to their rel32 forms
+// (jmp EB → E9, jcc 7x → 0F 8x), so the result is valid anywhere
+// within ±2GiB of the target. loopcc/jrcxz (E0–E3) have no rel32 form
+// and are rejected; indirect branches carry no displacement and must
+// go through RelocateSimple.
+func RelocateBranch(i *Inst, newAddr uint64) ([]byte, error) {
+	if !i.IsDirectBranch() {
+		return nil, fmt.Errorf("x86: RelocateBranch on non-direct-branch % x", i.Bytes)
+	}
+	if !i.TwoByte && i.Opcode >= 0xE0 && i.Opcode <= 0xE3 {
+		return nil, fmt.Errorf("x86: %#02x (loopcc/jrcxz) has no rel32 form", i.Opcode)
+	}
+	var out []byte
+	switch {
+	case i.IsJmp():
+		out = []byte{0xE9, 0, 0, 0, 0}
+	case i.IsCall():
+		out = []byte{0xE8, 0, 0, 0, 0}
+	default: // jcc: the condition nibble is shared by 7x and 0F 8x.
+		out = []byte{0x0F, 0x80 | i.Opcode&0x0F, 0, 0, 0, 0}
+	}
+	rel := int64(i.Target()) - int64(newAddr) - int64(len(out))
+	if rel < -1<<31 || rel > 1<<31-1 {
+		return nil, fmt.Errorf("%w: branch at %#x -> target %#x rel %d", ErrRelocRange, newAddr, i.Target(), rel)
+	}
+	put32(out[len(out)-4:], uint32(int32(rel)))
+	return out, nil
+}
