@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest bench bench-json servertest fuzzshort ci
+.PHONY: all build fmt vet test race difftest bench bench-json bench-parallel servertest fuzzshort ci
 
 all: build test
 
@@ -22,12 +22,15 @@ race:
 	$(GO) test -race ./...
 
 # difftest runs the differential suites: rewriter (original vs patched),
-# engines (interp vs tbc, including the FuzzEngines seed corpus), and
-# the tbc parity/self-modifying-code tests.
+# engines (interp vs tbc, including the FuzzEngines seed corpus), the
+# tbc parity/self-modifying-code tests, and the parallel-vs-sequential
+# corpus (byte-identity at every worker count, under the race detector).
 difftest:
 	$(GO) test -run 'TestDifferentialFuzz|TestFuzzSelectAllCoverage' .
 	$(GO) test -run FuzzEngines .
 	$(GO) test ./internal/emu/tbc/
+	$(GO) test -race -run 'TestParallelRewrite|TestParallelEmulatorEquivalence|FuzzParallelRewrite' .
+	$(GO) test -race -run 'TestParallel|TestRegionConflictRedo|TestBeltFallback|TestShardable|Shardable' ./internal/patch/ ./internal/disasm/ ./internal/match/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -37,15 +40,22 @@ bench:
 bench-json:
 	$(GO) run ./cmd/e9bench -enginespeed -json BENCH_engines.json
 
+# bench-parallel records the rewrite-phase scaling curve (widths 1..8)
+# with the byte-identity check; on a single-core runner the curve is
+# honestly flat and the identity bit is the load-bearing result.
+bench-parallel:
+	$(GO) run ./cmd/e9bench -parallelism 8 -json BENCH_parallel.json
+
 # servertest is the e9served smoke test: build the real binary, start
 # it on an ephemeral port, POST a corpus binary, and check the output
 # is byte-identical to a direct e9patch.Rewrite.
 servertest:
 	$(GO) test -run TestServedSmoke -count 1 ./cmd/e9served/
 
-# fuzzshort actually explores the engine-differential fuzzer for a few
-# seconds (plain `go test` only replays the seed corpus).
+# fuzzshort actually explores the differential fuzzers for a few
+# seconds each (plain `go test` only replays the seed corpus).
 fuzzshort:
 	$(GO) test -run '^FuzzEngines$$' -fuzz '^FuzzEngines$$' -fuzztime 5s .
+	$(GO) test -run '^FuzzParallelRewrite$$' -fuzz '^FuzzParallelRewrite$$' -fuzztime 5s .
 
 ci: fmt vet race difftest servertest fuzzshort

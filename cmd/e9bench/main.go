@@ -12,6 +12,7 @@
 //	e9bench -ablation-b0       # §2.1.1 signal-handler baseline
 //	e9bench -motivation        # §1 CFG-recovery accuracy decay
 //	e9bench -enginespeed       # interp vs tbc emulation throughput
+//	e9bench -parallelism=8     # rewrite-phase scaling curve, widths 1..8
 //	e9bench -all               # everything
 //
 // -scale shrinks the synthetic binaries relative to the paper's sizes
@@ -44,6 +45,24 @@ type jsonReport struct {
 	Engine      string           `json:"engine"`
 	EngineSpeed *engineSpeedJSON `json:"engineSpeed,omitempty"`
 	Emulation   *emulationJSON   `json:"emulation,omitempty"`
+	Parallel    *parallelJSON    `json:"rewriteScaling,omitempty"`
+}
+
+// parallelJSON mirrors eval.ParallelScaling for the -parallelism run.
+type parallelJSON struct {
+	Profile   string              `json:"profile"`
+	App       string              `json:"app"`
+	Insts     int                 `json:"insts"`
+	Locations int                 `json:"locations"`
+	Cores     int                 `json:"cores"`
+	Identical bool                `json:"byteIdentical"`
+	Points    []parallelPointJSON `json:"points"`
+}
+
+type parallelPointJSON struct {
+	Width   int     `json:"width"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
 }
 
 // engineSpeedJSON mirrors eval.EngineSpeed for the -enginespeed run.
@@ -73,6 +92,7 @@ func main() {
 		abB0    = flag.Bool("ablation-b0", false, "int3/SIGTRAP baseline comparison")
 		motiv   = flag.Bool("motivation", false, "CFG-recovery accuracy decay table")
 		engSpd  = flag.Bool("enginespeed", false, "interp vs tbc emulation throughput")
+		parMax  = flag.Int("parallelism", 0, "measure rewrite-phase scaling up to this worker count")
 		all     = flag.Bool("all", false, "run every experiment")
 		scale   = flag.Float64("scale", 0.25, "binary size scale vs the paper")
 		full    = flag.Bool("full", false, "shorthand for -scale 1")
@@ -230,6 +250,47 @@ func main() {
 			TBCIPS:       es.TBCIPS,
 			Speedup:      es.Speedup,
 		}
+	}
+
+	if *parMax > 0 || *all {
+		ran = true
+		max := *parMax
+		if max <= 0 {
+			max = 8
+		}
+		widths := []int{1}
+		for w := 2; w < max; w *= 2 {
+			widths = append(widths, w)
+		}
+		if widths[len(widths)-1] != max {
+			widths = append(widths, max)
+		}
+		fmt.Printf("== Rewrite-phase parallel scaling (gcc profile, A2, widths %v) ==\n", widths)
+		ps, err := eval.MeasureParallelScaling(opt, widths, prog)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d insts, %d locations, %d core(s), byte-identical across widths: %v\n",
+			ps.Insts, ps.Locations, ps.Cores, ps.Identical)
+		for _, pt := range ps.Points {
+			fmt.Printf("  width %2d: %8.3fs   speedup %.2fx\n", pt.Width, pt.Seconds, pt.Speedup)
+		}
+		if !ps.Identical {
+			fail(fmt.Errorf("parallel rewrite output diverged from sequential"))
+		}
+		fmt.Println()
+		pj := &parallelJSON{
+			Profile:   ps.Profile,
+			App:       ps.App,
+			Insts:     ps.Insts,
+			Locations: ps.Locations,
+			Cores:     ps.Cores,
+			Identical: ps.Identical,
+		}
+		for _, pt := range ps.Points {
+			pj.Points = append(pj.Points, parallelPointJSON(pt))
+		}
+		report.Parallel = pj
 	}
 
 	if !ran {

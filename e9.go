@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"e9patch/internal/disasm"
 	"e9patch/internal/elf64"
@@ -32,6 +33,7 @@ import (
 	"e9patch/internal/patch"
 	"e9patch/internal/trampoline"
 	"e9patch/internal/va"
+	"e9patch/internal/work"
 	"e9patch/internal/x86"
 )
 
@@ -40,8 +42,37 @@ import (
 // disabled; our simulated loader is deterministic by design).
 const PIEBase uint64 = 0x5555_5555_4000
 
+// Pool is a bounded worker pool shared across rewrites: when several
+// concurrent rewrites are handed the same pool, the sum of their
+// helper goroutines never exceeds the pool size, no matter how many
+// rewrites run at once.
+type Pool = work.Pool
+
+// NewPool creates a worker pool with n slots (n <= 0: GOMAXPROCS).
+func NewPool(n int) *Pool { return work.NewPool(n) }
+
 // Selector chooses patch locations among the disassembled instructions.
 type Selector func(insts []x86.Inst) []int
+
+// ParallelSafe marks a custom selector as safe for sharded matching
+// and returns it. A selector is shard-safe when its decision for
+// instruction i depends on insts[i] alone — no neighbour inspection,
+// no internal state, no dependence on slice positions. Selectors not
+// marked safe are simply evaluated sequentially.
+func ParallelSafe(sel Selector) Selector {
+	match.RegisterShardable(sel)
+	return sel
+}
+
+func init() {
+	// The built-in selectors are all per-instruction predicates.
+	match.RegisterShardable(SelectJumps)
+	match.RegisterShardable(SelectHeapWrites)
+	match.RegisterShardable(SelectAll)
+	match.RegisterShardable(disasm.SelectJumps)
+	match.RegisterShardable(disasm.SelectHeapWrites)
+	match.RegisterShardable(disasm.SelectAll)
+}
 
 // SelectJumps is the paper's application A1: instrument all jmp/jcc.
 func SelectJumps(insts []x86.Inst) []int { return disasm.SelectJumps(insts) }
@@ -62,7 +93,7 @@ func SelectAddresses(addrs ...uint64) Selector {
 	for _, a := range addrs {
 		want[a] = true
 	}
-	return func(insts []x86.Inst) []int {
+	sel := func(insts []x86.Inst) []int {
 		var out []int
 		for i := range insts {
 			if want[insts[i].Addr] {
@@ -71,6 +102,8 @@ func SelectAddresses(addrs ...uint64) Selector {
 		}
 		return out
 	}
+	match.RegisterShardable(sel)
+	return sel
 }
 
 // SelectMatch compiles an E9Tool-style matcher expression into a
@@ -117,6 +150,16 @@ type Config struct {
 	// SkipPrefix disassembles only after the first SkipPrefix bytes of
 	// .text (the paper's ChromeMain workaround for data-in-text).
 	SkipPrefix uint64
+	// Parallelism bounds the worker goroutines used by the sharded
+	// disassembly, matching and region-parallel patching phases
+	// (default: GOMAXPROCS; 1 runs everything sequentially). The output
+	// is byte-identical for every value — parallelism only changes
+	// scheduling, never placement decisions.
+	Parallelism int
+	// Pool, when non-nil, is a shared bounded worker pool: concurrent
+	// rewrites handed the same pool never exceed its size in total
+	// helper goroutines, even while each also shards internally.
+	Pool *Pool
 }
 
 // Result is the outcome of a rewrite.
@@ -208,18 +251,26 @@ func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, err
 		return nil, fmt.Errorf("e9patch: SkipPrefix %d exceeds .text size %d", cfg.SkipPrefix, len(text))
 	}
 	rtTextAddr := textAddr + bias
+	width := cfg.Parallelism
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
 
-	// The frontend: linear disassembly, locations and sizes only.
+	// The frontend: sharded linear disassembly, locations and sizes
+	// only. The sharded sweep provably equals the sequential one (seam
+	// repair, see disasm.Parallel), so shard geometry is free to follow
+	// width.
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	dres := disasm.Linear(text[cfg.SkipPrefix:], rtTextAddr+cfg.SkipPrefix)
+	dres := disasm.Parallel(text[cfg.SkipPrefix:], rtTextAddr+cfg.SkipPrefix, width, cfg.Pool)
 
-	// Match phase: run the selector over the disassembly.
+	// Match phase: run the selector over the disassembly, sharded when
+	// the selector is registered as per-instruction pure.
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	selected := cfg.Select(dres.Insts)
+	selected := parallelSelect(cfg.Select, dres.Insts, width, cfg.Pool)
 	warnings := diagnoseSelection(cfg.Select, dres.Insts, selected, bias)
 
 	// Address-space model: all loaded segments are off limits
@@ -251,6 +302,10 @@ func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, err
 	popts := cfg.Patch
 	popts.Template = cfg.Template
 	popts.Cancel = ctx.Done()
+	popts.Workers = width
+	if cfg.Pool != nil {
+		popts.Pool = cfg.Pool
+	}
 	rw := patch.New(text, rtTextAddr, dres.Insts, space, poolHint, popts)
 	stats := rw.PatchAll(selected)
 	if err := ctxErr(ctx); err != nil {
@@ -309,30 +364,75 @@ func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, err
 	}, nil
 }
 
-// diagnoseSelection explains an empty selection on a PIE binary: the
-// most common cause is an address-based selector (SelectAddresses or an
-// addr= matcher) fed file-relative addresses, which never match because
-// PIE instructions carry runtime addresses (file offset + PIEBase). The
-// check is selector-agnostic: re-run the selector over a view of the
-// disassembly with the load bias removed; if it now matches, the input
-// addresses were file-relative.
+// parallelSelect evaluates the selector, sharding the instruction
+// slice across workers when the selector is registered as
+// per-instruction pure (match.Shardable); shard results are index-
+// offset and concatenated, which equals the sequential evaluation
+// exactly. Unregistered selectors always run sequentially.
+func parallelSelect(sel Selector, insts []x86.Inst, width int, pool *work.Pool) []int {
+	const minShardInsts = 4096
+	nsh := len(insts) / minShardInsts
+	if most := width * 4; nsh > most {
+		nsh = most
+	}
+	if width <= 1 || nsh <= 1 || !match.Shardable(sel) {
+		return sel(insts)
+	}
+	parts := make([][]int, nsh)
+	work.ForEach(pool, width, nsh, func(i int) {
+		lo := i * len(insts) / nsh
+		hi := (i + 1) * len(insts) / nsh
+		part := sel(insts[lo:hi])
+		for j := range part {
+			part[j] += lo
+		}
+		parts[i] = part
+	})
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// diagnoseSelection explains an empty selection caused by the most
+// common address-coordinate mix-up: an address-based selector
+// (SelectAddresses or an addr= matcher) fed addresses in the wrong
+// coordinate system. PIE instructions carry runtime addresses (file
+// address + PIEBase), non-PIE instructions carry link-time addresses.
+// The check is selector-agnostic: re-run the selector over a view of
+// the disassembly shifted into the other coordinate system; if it now
+// matches, the input addresses were in the wrong one.
 func diagnoseSelection(sel Selector, insts []x86.Inst, selected []int, bias uint64) []string {
-	if len(selected) != 0 || bias == 0 || len(insts) == 0 {
+	if len(selected) != 0 || len(insts) == 0 {
 		return nil
 	}
 	shifted := make([]x86.Inst, len(insts))
 	copy(shifted, insts)
-	for i := range shifted {
-		shifted[i].Addr -= bias
-	}
-	n := len(sel(shifted))
-	if n == 0 {
+	if bias != 0 {
+		for i := range shifted {
+			shifted[i].Addr -= bias
+		}
+		if n := len(sel(shifted)); n != 0 {
+			return []string{fmt.Sprintf(
+				"0 locations selected, but %d would match without the PIE load bias: "+
+					"input addresses looked file-relative (< PIEBase); pass runtime "+
+					"addresses (file address + e9patch.PIEBase) for PIE binaries", n)}
+		}
 		return nil
 	}
-	return []string{fmt.Sprintf(
-		"0 locations selected, but %d would match without the PIE load bias: "+
-			"input addresses looked file-relative (< PIEBase); pass runtime "+
-			"addresses (file address + e9patch.PIEBase) for PIE binaries", n)}
+	// Non-PIE: the converse mistake — runtime-style (PIEBase-shifted)
+	// addresses fed to a binary loaded at its link address.
+	for i := range shifted {
+		shifted[i].Addr += PIEBase
+	}
+	if n := len(sel(shifted)); n != 0 {
+		return []string{fmt.Sprintf(
+			"0 locations selected, but %d would match with the PIE load bias "+
+				"added: input addresses looked PIE-runtime-relative (>= PIEBase), "+
+				"but this binary is not PIE; pass link-time addresses", n)}
+	}
+	return nil
 }
 
 // reserveMerged reserves [lo, hi), tolerating overlap with existing

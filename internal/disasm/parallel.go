@@ -1,0 +1,115 @@
+package disasm
+
+import (
+	"sort"
+
+	"e9patch/internal/work"
+	"e9patch/internal/x86"
+)
+
+// Sharded linear disassembly. A linear sweep is memoryless: the scan
+// state is exactly the current offset, so the sweep starting at offset
+// e always visits the same positions regardless of how it got to e.
+// Each shard sweeps its own byte range and records every cursor
+// position it visited; the sequential stitch then walks shard by
+// shard, entering each one at the previous shard's exit cursor. If the
+// entry cursor is a position the shard visited, the shard's suffix
+// from that position is spliced in verbatim; otherwise the stitch
+// decodes single instructions until it re-synchronises (instruction
+// boundaries self-synchronise within a few instructions on x86). The
+// result is provably byte-identical to Linear for every shard count,
+// which is why shard geometry is free to follow the worker count.
+
+// minShardBytes keeps shards large enough that seam-repair work is
+// negligible against the sweep itself.
+const minShardBytes = 16 << 10
+
+// shardScan is one shard's sweep output.
+type shardScan struct {
+	insts   []x86.Inst
+	visited []int // every cursor position in [lo, hi), ascending
+	bad     []int // undecodable positions, ascending
+	end     int   // exit cursor (first position >= hi)
+}
+
+// Parallel is Linear distributed over a worker pool. width <= 1, a nil
+// pool with width 1, or a small input all fall back to the sequential
+// sweep. The output is byte-identical to Linear(code, addr) for every
+// width and pool state.
+func Parallel(code []byte, addr uint64, width int, pool *work.Pool) Result {
+	nsh := len(code) / minShardBytes
+	if nsh > width {
+		// A few shards per worker smooths uneven decode costs without
+		// shrinking shards below the floor.
+		if most := width * 4; nsh > most {
+			nsh = most
+		}
+	}
+	if width <= 1 || nsh <= 1 {
+		return Linear(code, addr)
+	}
+
+	shardLo := func(i int) int { return i * len(code) / nsh }
+	shards := make([]shardScan, nsh)
+	work.ForEach(pool, width, nsh, func(i int) {
+		lo, hi := shardLo(i), shardLo(i+1)
+		sh := &shards[i]
+		for off := lo; off < hi; {
+			sh.visited = append(sh.visited, off)
+			inst, err := x86.Decode(code[off:], addr+uint64(off))
+			if err != nil {
+				sh.bad = append(sh.bad, off)
+				off++
+				continue
+			}
+			sh.insts = append(sh.insts, inst)
+			off += inst.Len
+		}
+		sh.end = lastOff(lo, hi, sh)
+	})
+
+	// Stitch: cursor is always the offset the sequential sweep would
+	// be at after emitting everything appended so far.
+	var res Result
+	cursor := 0
+	for i := 0; i < nsh; i++ {
+		sh := &shards[i]
+		hi := shardLo(i + 1)
+		for cursor < hi {
+			if k := sort.SearchInts(sh.visited, cursor); k < len(sh.visited) && sh.visited[k] == cursor {
+				// Synchronised: splice the shard's suffix from cursor.
+				ki := sort.Search(len(sh.insts), func(j int) bool {
+					return sh.insts[j].Addr >= addr+uint64(cursor)
+				})
+				res.Insts = append(res.Insts, sh.insts[ki:]...)
+				res.BadBytes += len(sh.bad) - sort.SearchInts(sh.bad, cursor)
+				cursor = sh.end
+				break
+			}
+			// Seam mis-sync: single-step until a visited position.
+			inst, err := x86.Decode(code[cursor:], addr+uint64(cursor))
+			if err != nil {
+				res.BadBytes++
+				cursor++
+				continue
+			}
+			res.Insts = append(res.Insts, inst)
+			cursor += inst.Len
+		}
+	}
+	return res
+}
+
+// lastOff recomputes the shard's exit cursor from its final recorded
+// position (the worker loop ends with off >= hi, which is not stored
+// in visited).
+func lastOff(lo, hi int, sh *shardScan) int {
+	if len(sh.visited) == 0 {
+		return lo // empty shard range
+	}
+	last := sh.visited[len(sh.visited)-1]
+	if len(sh.bad) > 0 && sh.bad[len(sh.bad)-1] == last {
+		return last + 1
+	}
+	return last + sh.insts[len(sh.insts)-1].Len
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/workload"
+)
+
+// ParallelPoint is one width on the rewrite-phase scaling curve.
+type ParallelPoint struct {
+	// Width is the Config.Parallelism value measured.
+	Width int
+	// Seconds is the best-of-N wall time of one full rewrite.
+	Seconds float64
+	// Speedup is Seconds(width=1) / Seconds(width).
+	Speedup float64
+}
+
+// ParallelScaling is the rewrite-phase scaling result recorded in
+// BENCH_*.json. Identical reports whether every width reproduced the
+// width-1 output byte-for-byte — the pipeline's core guarantee, so a
+// false value is a bug, not a measurement artefact. Cores records
+// runtime.NumCPU(): on a single-core container the curve is honest
+// (flat or slightly negative) and the byte-identity check is the
+// meaningful part of the run.
+type ParallelScaling struct {
+	Profile   string
+	App       string
+	Insts     int
+	Locations int
+	Cores     int
+	Identical bool
+	Points    []ParallelPoint
+}
+
+// MeasureParallelScaling rewrites a profile's static binary at each
+// width and times the full pipeline (disassembly, matching, patching,
+// grouping). Widths must start with 1, which provides both the
+// baseline time and the reference bytes.
+func MeasureParallelScaling(opt Options, widths []int, progress io.Writer) (*ParallelScaling, error) {
+	opt = opt.withDefaults()
+	if len(widths) == 0 || widths[0] != 1 {
+		return nil, fmt.Errorf("parscale: widths must start with 1, got %v", widths)
+	}
+	p, err := workload.ProfileByName("gcc")
+	if err != nil {
+		return nil, err
+	}
+	prog, err := workload.BuildStatic(p, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &ParallelScaling{
+		Profile:   p.Name,
+		App:       "A2",
+		Cores:     runtime.NumCPU(),
+		Identical: true,
+	}
+	const reps = 3
+	var ref []byte
+	for _, w := range widths {
+		if progress != nil {
+			fmt.Fprintf(progress, "# parscale: %s width=%d\n", p.Name, w)
+		}
+		cfg := baseConfig(p, A2, opt.Scale)
+		cfg.Parallelism = w
+		best := 0.0
+		var res *e9patch.Result
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			r, err := e9patch.Rewrite(prog.ELF, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("parscale width %d: %w", w, err)
+			}
+			if sec := time.Since(start).Seconds(); best == 0 || sec < best {
+				best = sec
+			}
+			res = r
+		}
+		if w == 1 {
+			ref = res.Output
+			out.Insts = res.Insts
+			out.Locations = res.Stats.Total
+		} else if !bytes.Equal(ref, res.Output) {
+			out.Identical = false
+		}
+		pt := ParallelPoint{Width: w, Seconds: best}
+		if len(out.Points) > 0 {
+			pt.Speedup = out.Points[0].Seconds / best
+		} else {
+			pt.Speedup = 1
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}

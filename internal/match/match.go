@@ -59,9 +59,13 @@ func Compile(expr string) (Predicate, error) {
 	return pred, nil
 }
 
-// Select converts a predicate into a patch-location selector.
+// Select converts a predicate into a patch-location selector. The
+// selector tests one instruction at a time, so it is registered as
+// shard-safe for parallel matching (predicates compiled from matcher
+// expressions are pure by construction; callers passing hand-written
+// predicates must keep them stateless too).
 func Select(pred Predicate) func(insts []x86.Inst) []int {
-	return func(insts []x86.Inst) []int {
+	sel := func(insts []x86.Inst) []int {
 		var out []int
 		for i := range insts {
 			if pred(&insts[i]) {
@@ -70,6 +74,8 @@ func Select(pred Predicate) func(insts []x86.Inst) []int {
 		}
 		return out
 	}
+	RegisterShardable(sel)
+	return sel
 }
 
 type tokKind int

@@ -67,24 +67,24 @@ func (r *Rewriter) evictAndRepun(inst, succ *x86.Inst, wS punWindow, tS uint64, 
 		if !ok {
 			continue
 		}
-		tP, pCode, ok := r.allocTrampoline(r.opts.Template, inst, patchSize, wI)
+		tP, pCode, fromArena, ok := r.allocTrampoline(r.opts.Template, inst, patchSize, wI)
 		if !ok {
 			continue
 		}
 		// The patch trampoline may have claimed the candidate slot.
 		if r.space.Occupied(tS, tS+uint64(evSize)) {
-			r.mustRelease(tP, tP+uint64(patchSize))
+			r.undoTrampoline(tP, patchSize, fromArena)
 			restore()
 			return false
 		}
 		evCode, err := r.opts.EvictionTemplate.Emit(succ, tS)
 		if err != nil || len(evCode) != evSize {
-			r.mustRelease(tP, tP+uint64(patchSize))
+			r.undoTrampoline(tP, patchSize, fromArena)
 			restore()
 			return false
 		}
-		if err := r.space.Reserve(tS, tS+uint64(evSize)); err != nil {
-			r.mustRelease(tP, tP+uint64(patchSize))
+		if err := r.reserveVA(tS, tS+uint64(evSize)); err != nil {
+			r.undoTrampoline(tP, patchSize, fromArena)
 			restore()
 			return false
 		}
@@ -140,12 +140,6 @@ func (r *Rewriter) placementCandidates(size uint64, w punWindow) []uint64 {
 		uniq = uniq[:n]
 	}
 	return uniq
-}
-
-func (r *Rewriter) mustRelease(lo, hi uint64) {
-	if err := r.space.Release(lo, hi); err != nil {
-		panic("patch: inconsistent release: " + err.Error())
-	}
 }
 
 // tryNeighbourEviction implements T3. A victim within forward
@@ -235,7 +229,7 @@ func (r *Rewriter) tryT3Victim(inst, v *x86.Inst, j, patchSize int, punnedRel8 b
 	if !ok {
 		return false
 	}
-	tP, pCode, ok := r.allocTrampoline(r.opts.Template, inst, patchSize, wP)
+	tP, pCode, fromArena, ok := r.allocTrampoline(r.opts.Template, inst, patchSize, wP)
 	if !ok {
 		return false
 	}
@@ -254,11 +248,11 @@ func (r *Rewriter) tryT3Victim(inst, v *x86.Inst, j, patchSize int, punnedRel8 b
 	var tV uint64
 	var evCode []byte
 	if okV {
-		tV, evCode, okV = r.allocTrampoline(r.opts.EvictionTemplate, v, evSize, wV)
+		tV, evCode, _, okV = r.allocTrampoline(r.opts.EvictionTemplate, v, evSize, wV)
 	}
 	if !okV {
 		copy(r.code[oP:oP+writeLenP], saved)
-		r.mustRelease(tP, tP+uint64(patchSize))
+		r.undoTrampoline(tP, patchSize, fromArena)
 		return false
 	}
 

@@ -17,6 +17,7 @@ import (
 
 	"e9patch/internal/trampoline"
 	"e9patch/internal/va"
+	"e9patch/internal/work"
 	"e9patch/internal/x86"
 )
 
@@ -84,6 +85,20 @@ type Options struct {
 	// Remaining locations are left unpatched; the caller is expected
 	// to notice the cancellation and discard the partial result.
 	Cancel <-chan struct{}
+	// Workers is the maximum number of regions patched concurrently
+	// (<=1: sequential). The patched output is byte-identical for every
+	// value — see parallel.go; Workers only changes scheduling.
+	Workers int
+	// Pool, when non-nil, bounds helper goroutines globally so that
+	// concurrent rewrites sharing the pool cannot oversubscribe the
+	// machine. Without a pool each PatchAll may use up to Workers
+	// goroutines of its own.
+	Pool *work.Pool
+	// MinRegionSize is the minimum number of patch locations per
+	// parallel region (default 64). It shapes the deterministic region
+	// decomposition, so changing it changes the output; Workers does
+	// not.
+	MinRegionSize int
 }
 
 // Trampoline is one emitted trampoline.
@@ -154,6 +169,15 @@ type Rewriter struct {
 
 	// hint is the bump cursor for unconstrained allocations.
 	hint uint64
+
+	// Region-parallel state (parallel.go). arena, when non-nil, serves
+	// unconstrained allocations from a pre-reserved range; speculating
+	// journals space operations for deterministic replay; redone counts
+	// regions that conflicted at commit and were re-patched.
+	arena       *arena
+	speculating bool
+	journal     []spaceOp
+	redone      int
 }
 
 // New creates a rewriter over a mutable copy of code. The space must
@@ -236,22 +260,23 @@ func (r *Rewriter) lock(addr uint64, n int) {
 // PatchAll applies the reverse-order strategy S1: locations are patched
 // from highest to lowest address so that puns only ever depend on bytes
 // that are already final.
+// When the order decomposes into more than one guard-band-separated
+// region, the regions are patched speculatively in parallel and
+// committed deterministically (parallel.go); otherwise the classic
+// sequential path runs. The path taken depends only on the workload,
+// never on Options.Workers, so output bytes are identical for every
+// worker count.
 func (r *Rewriter) PatchAll(indices []int) Stats {
 	order := make([]int, len(indices))
 	copy(order, indices)
 	sort.Slice(order, func(a, b int) bool {
 		return r.insts[order[a]].Addr > r.insts[order[b]].Addr
 	})
-	for i, idx := range order {
-		if r.opts.Cancel != nil && i&0xFF == 0 {
-			select {
-			case <-r.opts.Cancel:
-				return r.stats
-			default:
-			}
-		}
-		r.patchOne(idx)
+	if regions := r.decompose(order); len(regions) > 1 {
+		r.patchRegions(regions)
+		return r.stats
 	}
+	r.runRegion(order)
 	return r.stats
 }
 

@@ -133,11 +133,26 @@ func jumpBytes(view []byte, off int, addr uint64, instLen int, w punWindow, targ
 // windows use a deterministic jitter so trampolines spread across
 // page offsets — without it every pun lands at its window's lowest
 // address and physical page grouping cannot merge anything (§4).
-func (r *Rewriter) allocTrampoline(tmpl trampoline.Template, inst *x86.Inst, size int, w punWindow) (uint64, []byte, bool) {
+//
+// When the rewriter patches one region of a parallel decomposition,
+// unconstrained allocations come from the region's pre-reserved arena
+// when possible (no address-space traffic at all); the reported
+// fromArena lets failure paths undo the bump instead of releasing.
+func (r *Rewriter) allocTrampoline(tmpl trampoline.Template, inst *x86.Inst, size int, w punWindow) (t uint64, code []byte, fromArena, ok bool) {
 	usize := uint64(size)
-	var t uint64
-	var ok bool
 	unconstrained := w.freeBytes == 4
+	if unconstrained && r.arena != nil {
+		if at, aok := r.arena.peek(usize, w.winLo, w.winHi); aok {
+			code, err := tmpl.Emit(inst, at)
+			if err != nil || len(code) != size {
+				return 0, nil, false, false
+			}
+			r.arena.ptr = at + usize
+			return at, code, true, true
+		}
+		// Arena exhausted or outside this window: fall through to the
+		// journaled shared-space path.
+	}
 	switch {
 	case unconstrained:
 		if r.hint >= w.winLo && r.hint <= w.winHi {
@@ -152,19 +167,19 @@ func (r *Rewriter) allocTrampoline(tmpl trampoline.Template, inst *x86.Inst, siz
 		t, ok = r.space.FindFree(usize, w.winLo, w.winHi)
 	}
 	if !ok {
-		return 0, nil, false
+		return 0, nil, false, false
 	}
-	code, err := tmpl.Emit(inst, t)
-	if err != nil || len(code) != size {
-		return 0, nil, false
+	emitted, err := tmpl.Emit(inst, t)
+	if err != nil || len(emitted) != size {
+		return 0, nil, false, false
 	}
-	if err := r.space.Reserve(t, t+usize); err != nil {
-		return 0, nil, false
+	if err := r.reserveVA(t, t+usize); err != nil {
+		return 0, nil, false, false
 	}
 	if unconstrained {
 		r.hint = t + usize
 	}
-	return t, code, true
+	return t, emitted, false, true
 }
 
 // mix64 is a splitmix64-style hash for deterministic placement jitter.
@@ -199,7 +214,7 @@ func (r *Rewriter) tryJumpPad(inst *x86.Inst, pad int, tmpl trampoline.Template,
 	if !ok {
 		return false
 	}
-	t, code, ok := r.allocTrampoline(tmpl, inst, size, w)
+	t, code, _, ok := r.allocTrampoline(tmpl, inst, size, w)
 	if !ok {
 		return false
 	}
@@ -243,7 +258,7 @@ func (r *Rewriter) tryInt3(inst *x86.Inst) bool {
 		return false
 	}
 	w := punWindow{freeBytes: 4, winLo: r.space.Min(), winHi: r.space.Max() - 1}
-	t, code, ok := r.allocTrampoline(r.opts.Template, inst, size, w)
+	t, code, _, ok := r.allocTrampoline(r.opts.Template, inst, size, w)
 	if !ok {
 		return false
 	}

@@ -83,6 +83,13 @@ type Server struct {
 	rewrite  RewriteFunc
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// shards bounds intra-rewrite shard helpers across ALL concurrent
+	// rewrites: request-level workers and per-request parallel phases
+	// draw from one budget of cfg.Workers goroutines, so a busy queue
+	// degrades each rewrite toward sequential instead of
+	// oversubscribing the machine.
+	shards *e9patch.Pool
 }
 
 // New builds a Server with cfg (zero values take defaults).
@@ -94,12 +101,17 @@ func New(cfg Config) *Server {
 		cache:   newLRUCache(cfg.CacheBytes),
 		flights: newFlightGroup(),
 		metrics: NewMetrics(),
+		shards:  e9patch.NewPool(cfg.Workers),
 	}
 	s.rewrite = func(ctx context.Context, binary []byte, spec *Spec) (*e9patch.Result, error) {
 		rcfg, err := spec.Config()
 		if err != nil {
 			return nil, err
 		}
+		if rcfg.Parallelism <= 0 || rcfg.Parallelism > s.cfg.Workers {
+			rcfg.Parallelism = s.cfg.Workers
+		}
+		rcfg.Pool = s.shards
 		return e9patch.RewriteContext(ctx, binary, rcfg)
 	}
 	s.mux = http.NewServeMux()

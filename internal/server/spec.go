@@ -26,6 +26,8 @@ import (
 //	b0-fallback / force-b0                 int3 tactics
 //	reserve     extra reserved VA ranges, "0xLO-0xHI", repeatable or
 //	            comma-separated
+//	parallelism worker goroutines for this rewrite, clamped to the
+//	            server's pool size (default: the pool size)
 type Spec struct {
 	Match       string
 	Action      string
@@ -37,6 +39,7 @@ type Spec struct {
 	B0Fallback  bool
 	ForceB0     bool
 	Reserve     [][2]uint64
+	Parallelism int
 }
 
 // parseSpec extracts and validates the Spec of a rewrite request.
@@ -97,6 +100,16 @@ func parseSpec(r *http.Request) (*Spec, error) {
 	if s.ForceB0, err = getBool("force-b0"); err != nil {
 		return nil, err
 	}
+	if v := get("parallelism"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("parameter parallelism: %w", err)
+		}
+		if p < 1 {
+			return nil, fmt.Errorf("parameter parallelism: must be >= 1, got %d", p)
+		}
+		s.Parallelism = p
+	}
 
 	ranges := q["reserve"]
 	if h := r.Header.Get("X-E9-Reserve"); h != "" {
@@ -149,6 +162,10 @@ func parseSpec(r *http.Request) (*Spec, error) {
 // "jcc & short" are distinct keys even though they compile to the same
 // predicate; canonicalisation covers parameters, not expression
 // algebra.
+//
+// Parallelism is deliberately excluded: the rewrite output is
+// byte-identical at every worker count, so requests differing only in
+// parallelism share one cache entry.
 func (s *Spec) Canonical() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "match=%s|action=%s|M=%d|skip=%d|t1=%t|t2=%t|t3=%t|b0=%t|forceb0=%t",
@@ -202,6 +219,7 @@ func (s *Spec) Config() (e9patch.Config, error) {
 		Template:    tmpl,
 		Granularity: s.Granularity,
 		SkipPrefix:  s.SkipPrefix,
+		Parallelism: s.Parallelism,
 		Patch: patch.Options{
 			DisableT1:  s.DisableT1,
 			DisableT2:  s.DisableT2,

@@ -1,0 +1,49 @@
+package va
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCloneIndependentAndQueryEquivalent(t *testing.T) {
+	s := NewDefault()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		lo := 0x10000000 + uint64(rng.Intn(1<<28))
+		s.Alloc(uint64(rng.Intn(256)+1), lo, lo+0xFFFF)
+	}
+	c := s.Clone()
+
+	si, ci := s.Intervals(), c.Intervals()
+	if len(si) != len(ci) {
+		t.Fatalf("interval count %d != %d", len(ci), len(si))
+	}
+	for i := range si {
+		if si[i] != ci[i] {
+			t.Fatalf("interval %d: %v != %v", i, ci[i], si[i])
+		}
+	}
+	if s.OccupiedBytes() != c.OccupiedBytes() {
+		t.Fatal("occupied bytes differ")
+	}
+
+	// Identical query answers on identical interval sets.
+	for i := 0; i < 200; i++ {
+		lo := 0x10000000 + uint64(rng.Intn(1<<28))
+		size := uint64(rng.Intn(512) + 1)
+		a1, ok1 := s.FindFree(size, lo, lo+1<<20)
+		a2, ok2 := c.FindFree(size, lo, lo+1<<20)
+		if a1 != a2 || ok1 != ok2 {
+			t.Fatalf("FindFree(%d, %#x) diverged: %#x/%v vs %#x/%v", size, lo, a1, ok1, a2, ok2)
+		}
+	}
+
+	// Mutating the clone must not affect the original.
+	before := s.Count()
+	if err := c.Reserve(0x7000_0000_0000, 0x7000_0000_1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != before || s.Occupied(0x7000_0000_0000, 0x7000_0000_1000) {
+		t.Fatal("clone mutation leaked into original")
+	}
+}

@@ -399,6 +399,20 @@ func (s *Space) Release(lo, hi uint64) error {
 	return nil
 }
 
+// Clone returns an independent copy of the space: same bounds, same
+// occupied intervals, no shared structure. Treap shape and priorities
+// may differ, but every query (FindFree, Gaps, Floor, Ceiling,
+// Occupied) depends only on the interval set, so a clone answers all
+// queries identically to the original — the property the parallel
+// patcher's speculative regions rely on.
+func (s *Space) Clone() *Space {
+	c := New(s.min, s.max)
+	for _, iv := range s.Intervals() {
+		c.insertMerged(iv)
+	}
+	return c
+}
+
 // Intervals returns all occupied intervals in ascending order.
 func (s *Space) Intervals() []Interval {
 	out := make([]Interval, 0, s.count)
