@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest bench bench-json bench-parallel servertest fuzzshort ci
+.PHONY: all build fmt vet test race difftest plancheck bench bench-json bench-parallel bench-plancache servertest fuzzshort ci
 
 all: build test
 
@@ -32,6 +32,16 @@ difftest:
 	$(GO) test -race -run 'TestParallelRewrite|TestParallelEmulatorEquivalence|FuzzParallelRewrite' .
 	$(GO) test -race -run 'TestParallel|TestRegionConflictRedo|TestBeltFallback|TestShardable|Shardable' ./internal/patch/ ./internal/disasm/ ./internal/match/
 
+# plancheck verifies the plan/apply split: plan determinism, golden
+# JSON schema, serialization round trips, and Plan+Apply byte-identity
+# with the legacy monolithic rewrite over the difftest corpus (every
+# binary x tactic config x parallelism width), plus the plan IR unit
+# tests and the server's plan-cache rematerialization path.
+plancheck:
+	$(GO) test -run 'TestPlan|TestApplyValidation|TestRewriteInputImmutable' .
+	$(GO) test ./internal/plan/
+	$(GO) test -run TestPlanCacheRematerialize ./internal/server/
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
@@ -46,6 +56,11 @@ bench-json:
 bench-parallel:
 	$(GO) run ./cmd/e9bench -parallelism 8 -json BENCH_parallel.json
 
+# bench-plancache records how much of a full rewrite a plan-cache hit
+# skips (plan once, apply = rematerialize), with byte-identity checked.
+bench-plancache:
+	$(GO) run ./cmd/e9bench -plancache -json BENCH_plancache.json
+
 # servertest is the e9served smoke test: build the real binary, start
 # it on an ephemeral port, POST a corpus binary, and check the output
 # is byte-identical to a direct e9patch.Rewrite.
@@ -58,4 +73,4 @@ fuzzshort:
 	$(GO) test -run '^FuzzEngines$$' -fuzz '^FuzzEngines$$' -fuzztime 5s .
 	$(GO) test -run '^FuzzParallelRewrite$$' -fuzz '^FuzzParallelRewrite$$' -fuzztime 5s .
 
-ci: fmt vet race difftest servertest fuzzshort
+ci: fmt vet race difftest plancheck servertest fuzzshort

@@ -279,6 +279,53 @@ func BenchmarkRewrite(b *testing.B) {
 	}
 }
 
+// BenchmarkPlan measures the decision phase alone: disassembly,
+// matching, tactic search and trampoline allocation, without
+// materializing an output binary.
+func BenchmarkPlan(b *testing.B) {
+	bin := buildBenchBinary(b)
+	b.SetBytes(int64(len(bin)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := e9patch.Plan(bin, e9patch.Config{
+			Select:    e9patch.SelectHeapWrites,
+			ReserveVA: workload.ReserveVA(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Sites) == 0 {
+			b.Fatal("no patch points")
+		}
+	}
+}
+
+// BenchmarkApplyPlan measures rematerialization from a cached plan —
+// the plan-cache-hit path of e9served: the plan is made once outside
+// the timer, and each iteration replays it onto the input. Compare
+// with BenchmarkRewrite for the decision-search cost a plan hit skips.
+func BenchmarkApplyPlan(b *testing.B) {
+	bin := buildBenchBinary(b)
+	p, err := e9patch.Plan(bin, e9patch.Config{
+		Select:    e9patch.SelectHeapWrites,
+		ReserveVA: workload.ReserveVA(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(bin)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e9patch.Apply(bin, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Patched() == 0 {
+			b.Fatal("nothing patched")
+		}
+	}
+}
+
 // BenchmarkEmulator measures emulated instruction throughput under the
 // default engine (the tbc translation cache).
 func BenchmarkEmulator(b *testing.B) {

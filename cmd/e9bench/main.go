@@ -13,6 +13,7 @@
 //	e9bench -motivation        # §1 CFG-recovery accuracy decay
 //	e9bench -enginespeed       # interp vs tbc emulation throughput
 //	e9bench -parallelism=8     # rewrite-phase scaling curve, widths 1..8
+//	e9bench -plancache         # plan-cache-hit rematerialization speedup
 //	e9bench -all               # everything
 //
 // -scale shrinks the synthetic binaries relative to the paper's sizes
@@ -46,6 +47,21 @@ type jsonReport struct {
 	EngineSpeed *engineSpeedJSON `json:"engineSpeed,omitempty"`
 	Emulation   *emulationJSON   `json:"emulation,omitempty"`
 	Parallel    *parallelJSON    `json:"rewriteScaling,omitempty"`
+	PlanCache   *planCacheJSON   `json:"planCache,omitempty"`
+}
+
+// planCacheJSON mirrors eval.PlanCacheBench for the -plancache run.
+type planCacheJSON struct {
+	Profile     string  `json:"profile"`
+	App         string  `json:"app"`
+	Locations   int     `json:"locations"`
+	RewriteSec  float64 `json:"rewriteSeconds"`
+	PlanSec     float64 `json:"planSeconds"`
+	ApplySec    float64 `json:"applySeconds"`
+	Speedup     float64 `json:"applySpeedup"`
+	PlanBytes   int     `json:"planBytes"`
+	OutputBytes int     `json:"outputBytes"`
+	Identical   bool    `json:"byteIdentical"`
 }
 
 // parallelJSON mirrors eval.ParallelScaling for the -parallelism run.
@@ -93,6 +109,7 @@ func main() {
 		motiv   = flag.Bool("motivation", false, "CFG-recovery accuracy decay table")
 		engSpd  = flag.Bool("enginespeed", false, "interp vs tbc emulation throughput")
 		parMax  = flag.Int("parallelism", 0, "measure rewrite-phase scaling up to this worker count")
+		planCch = flag.Bool("plancache", false, "measure plan-cache-hit rematerialization speedup")
 		all     = flag.Bool("all", false, "run every experiment")
 		scale   = flag.Float64("scale", 0.25, "binary size scale vs the paper")
 		full    = flag.Bool("full", false, "shorthand for -scale 1")
@@ -291,6 +308,36 @@ func main() {
 			pj.Points = append(pj.Points, parallelPointJSON(pt))
 		}
 		report.Parallel = pj
+	}
+
+	if *planCch || *all {
+		ran = true
+		fmt.Println("== Plan-cache rematerialization (gcc profile, A2) ==")
+		pc, err := eval.MeasurePlanCache(opt, prog)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d locations, byte-identical: %v\n", pc.Locations, pc.Identical)
+		fmt.Printf("  rewrite %8.3fs   plan %8.3fs   apply %8.3fs   (cache hit skips %.1fx)\n",
+			pc.RewriteSec, pc.PlanSec, pc.ApplySec, pc.Speedup)
+		fmt.Printf("  plan %d bytes vs output %d bytes (%.1f%% of the result)\n",
+			pc.PlanBytes, pc.OutputBytes, 100*float64(pc.PlanBytes)/float64(pc.OutputBytes))
+		if !pc.Identical {
+			fail(fmt.Errorf("plan apply output diverged from direct rewrite"))
+		}
+		fmt.Println()
+		report.PlanCache = &planCacheJSON{
+			Profile:     pc.Profile,
+			App:         pc.App,
+			Locations:   pc.Locations,
+			RewriteSec:  pc.RewriteSec,
+			PlanSec:     pc.PlanSec,
+			ApplySec:    pc.ApplySec,
+			Speedup:     pc.Speedup,
+			PlanBytes:   pc.PlanBytes,
+			OutputBytes: pc.OutputBytes,
+			Identical:   pc.Identical,
+		}
 	}
 
 	if !ran {

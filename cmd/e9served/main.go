@@ -48,6 +48,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 		queue     = flag.Int("queue", 64, "bounded queue length (backpressure beyond this)")
 		cacheMB   = flag.Int("cache-mb", 256, "result cache budget in MiB")
+		planMB    = flag.Int("plan-cache-mb", 64, "plan cache budget in MiB (evicted results rematerialize from cached plans)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-rewrite time budget (queue wait included)")
 		maxBodyMB = flag.Int("max-body-mb", 64, "maximum request body in MiB")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
@@ -55,11 +56,12 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueLen:     *queue,
-		CacheBytes:   int64(*cacheMB) << 20,
-		Timeout:      *timeout,
-		MaxBodyBytes: int64(*maxBodyMB) << 20,
+		Workers:        *workers,
+		QueueLen:       *queue,
+		CacheBytes:     int64(*cacheMB) << 20,
+		PlanCacheBytes: int64(*planMB) << 20,
+		Timeout:        *timeout,
+		MaxBodyBytes:   int64(*maxBodyMB) << 20,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

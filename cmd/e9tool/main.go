@@ -8,6 +8,12 @@
 //	e9tool -match heapwrite -action lowfat -o hardened.bin input.bin
 //	e9tool -match 'branch' -action counter=0x300000000 -o traced.bin input.bin
 //
+// The two rewrite phases can also be driven separately:
+//
+//	e9tool -match 'jcc' -dry-run input.bin                    # plan, report, write nothing
+//	e9tool -match 'jcc' -emit-plan plan.json input.bin        # plan only, save the decisions
+//	e9tool -apply-plan plan.json -o out.bin input.bin         # replay a saved plan
+//
 // Matcher grammar (see internal/match): terms like jump, jcc, call,
 // ret, memwrite, heapwrite, riprel, short, len>=N, op=0xNN,
 // mnemonic=S, addr=0xA combined with &, |, ! and parentheses.
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -28,24 +35,66 @@ import (
 
 func main() {
 	var (
-		expr   = flag.String("match", "", "matcher expression (required)")
-		action = flag.String("action", "empty", "empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap")
-		out    = flag.String("o", "", "output file (required)")
-		gran   = flag.Int("M", 1, "page grouping granularity (-1 disables)")
-		b0     = flag.Bool("b0-fallback", false, "int3 fallback for unpatchable locations")
-		skip   = flag.Uint64("skip", 0, "skip first N bytes of .text")
+		expr      = flag.String("match", "", "matcher expression (required unless -apply-plan)")
+		action    = flag.String("action", "empty", "empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap")
+		out       = flag.String("o", "", "output file (required unless -dry-run or -emit-plan)")
+		gran      = flag.Int("M", 1, "page grouping granularity (-1 disables)")
+		b0        = flag.Bool("b0-fallback", false, "int3 fallback for unpatchable locations")
+		skip      = flag.Uint64("skip", 0, "skip first N bytes of .text")
+		dryRun    = flag.Bool("dry-run", false, "plan only: report tactics and footprint, write nothing")
+		emitPlan  = flag.String("emit-plan", "", "plan only: write the patch plan JSON to FILE")
+		applyPlan = flag.String("apply-plan", "", "skip planning: replay the patch plan JSON from FILE")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 || *out == "" || *expr == "" {
-		fmt.Fprintln(os.Stderr, "usage: e9tool -match EXPR [-action ACT] -o OUT INPUT")
+	planOnly := *dryRun || *emitPlan != ""
+	usageErr := func(msg string) {
+		fmt.Fprintln(os.Stderr, "e9tool: "+msg)
+		fmt.Fprintln(os.Stderr, "usage: e9tool -match EXPR [-action ACT] [-dry-run] [-emit-plan PLAN] -o OUT INPUT")
+		fmt.Fprintln(os.Stderr, "       e9tool -apply-plan PLAN -o OUT INPUT")
 		flag.Usage()
 		os.Exit(2)
+	}
+	switch {
+	case flag.NArg() != 1:
+		usageErr("exactly one input binary expected")
+	case *applyPlan != "":
+		if planOnly {
+			usageErr("-apply-plan is exclusive with -dry-run/-emit-plan")
+		}
+		if *out == "" {
+			usageErr("-apply-plan needs -o")
+		}
+	case *expr == "":
+		usageErr("-match is required")
+	case *out == "" && !planOnly:
+		usageErr("-o is required (or use -dry-run/-emit-plan)")
 	}
 
 	input, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+
+	if *applyPlan != "" {
+		data, err := os.ReadFile(*applyPlan)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := e9patch.DecodePlan(data)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := e9patch.Apply(input, p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, res.Output, 0o755); err != nil {
+			fatal(err)
+		}
+		report(res)
+		return
+	}
+
 	sel, err := e9patch.SelectMatch(*expr)
 	if err != nil {
 		fatal(err)
@@ -82,6 +131,24 @@ func main() {
 		fatal(fmt.Errorf("unknown action %q", *action))
 	}
 
+	if planOnly {
+		p, err := e9patch.Plan(input, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *emitPlan != "" {
+			enc, err := p.Encode()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*emitPlan, enc, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		planReport(p)
+		return
+	}
+
 	res, err := e9patch.Rewrite(input, cfg)
 	if err != nil {
 		fatal(err)
@@ -89,6 +156,11 @@ func main() {
 	if err := os.WriteFile(*out, res.Output, 0o755); err != nil {
 		fatal(err)
 	}
+	report(res)
+}
+
+// report prints the post-rewrite summary.
+func report(res *e9patch.Result) {
 	s := res.Stats
 	fmt.Printf("matched %d of %d instructions; patched %d (%.2f%%); size %.2f%%\n",
 		s.Total, res.Insts, s.Patched(), s.SuccPercent(), res.SizePercent())
@@ -96,6 +168,28 @@ func main() {
 		s.ByTactic[patch.TacticB1], s.ByTactic[patch.TacticB2],
 		s.ByTactic[patch.TacticT1], s.ByTactic[patch.TacticT2],
 		s.ByTactic[patch.TacticT3], s.ByTactic[patch.TacticB0], s.Failed)
+}
+
+// planReport prints what a plan would do without materializing it.
+func planReport(p *e9patch.PatchPlan) {
+	counts := p.TacticCounts()
+	patched := 0
+	names := make([]string, 0, len(counts))
+	for name, n := range counts {
+		if name != "none" {
+			patched += n
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("plan: %d of %d matched instructions patchable; %d trampolines; %d text bytes modified\n",
+		patched, len(p.Sites), p.TrampolineCount(), p.PatchedBytes())
+	parts := make([]string, 0, len(names)+1)
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, counts[name]))
+	}
+	parts = append(parts, fmt.Sprintf("failed=%d", counts["none"]))
+	fmt.Printf("tactics: %s\n", strings.Join(parts, " "))
 }
 
 func fatal(err error) {

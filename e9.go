@@ -31,6 +31,7 @@ import (
 	"e9patch/internal/loader"
 	"e9patch/internal/match"
 	"e9patch/internal/patch"
+	"e9patch/internal/plan"
 	"e9patch/internal/trampoline"
 	"e9patch/internal/va"
 	"e9patch/internal/work"
@@ -191,13 +192,32 @@ type Result struct {
 }
 
 // SizePercent returns the output/input file size ratio in percent
-// (Table 1's Size% column).
+// (Table 1's Size% column, 0 when the input size is unknown).
 func (r *Result) SizePercent() float64 {
+	if r.InputSize == 0 {
+		return 0
+	}
 	return 100 * float64(r.OutputSize) / float64(r.InputSize)
 }
 
+// PatchPlan is the serializable decision record produced by Plan and
+// consumed by Apply: one entry per patch location carrying the chosen
+// tactic, the committed byte edits, the trampoline layout (eviction
+// chains included) and any B0 dispatch bindings. See internal/plan for
+// the JSON schema and DESIGN.md §9 for the architecture.
+type PatchPlan = plan.PatchPlan
+
+// DecodePlan parses a plan previously rendered with PatchPlan.Encode,
+// rejecting unknown schema versions.
+func DecodePlan(data []byte) (*PatchPlan, error) { return plan.Decode(data) }
+
 // Rewrite statically rewrites the binary according to cfg. The input
 // slice is not modified.
+//
+// Rewrite is Plan followed by Apply: every decision is first recorded
+// into a PatchPlan, then a decision-free materializer replays the plan
+// onto the input. Callers that want the intermediate artefact (to
+// cache, audit or ship it) use the two phases directly.
 func Rewrite(input []byte, cfg Config) (*Result, error) {
 	return RewriteContext(context.Background(), input, cfg)
 }
@@ -217,6 +237,173 @@ func ctxErr(ctx context.Context) error {
 // whose caller has gone away stops early instead of emitting an output
 // nobody will read. The returned error wraps ctx.Err() when aborted.
 func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, error) {
+	p, err := PlanContext(ctx, input, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyContext(ctx, input, p)
+}
+
+// Plan runs the decision phase only: disassemble, match, run the S1
+// reverse-order tactic selection and allocate every trampoline against
+// the binary's address space — without materializing an output. The
+// returned plan is deterministic (planning twice yields byte-identical
+// encodings), bound to the input by SHA-256, and Apply(input, plan)
+// reproduces Rewrite(input, cfg) byte-for-byte. The input slice is not
+// modified.
+func Plan(input []byte, cfg Config) (*PatchPlan, error) {
+	return PlanContext(context.Background(), input, cfg)
+}
+
+// PlanContext is Plan with cancellation (see RewriteContext).
+func PlanContext(ctx context.Context, input []byte, cfg Config) (*PatchPlan, error) {
+	st, err := runPlanPipeline(ctx, input, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan.PatchPlan{
+		Version:     plan.Version,
+		Bias:        st.bias,
+		TextAddr:    st.textAddr + st.bias,
+		TextLen:     st.textLen,
+		Granularity: st.gran,
+		SkipPrefix:  cfg.SkipPrefix,
+		Insts:       st.insts,
+		BadBytes:    st.badBytes,
+		Warnings:    st.warnings,
+		Sites:       st.rw.Sites(),
+	}
+	p.BindInput(input)
+	return p, nil
+}
+
+// Apply materializes a plan onto input: replay the recorded byte
+// edits, group the recorded trampolines and append the loader blob.
+// No decision logic runs — a plan produced on one machine can be
+// audited and applied on another. The input must be the binary the
+// plan was made for (checked via the bound SHA-256 and the text
+// geometry); the input slice is not modified.
+func Apply(input []byte, p *PatchPlan) (*Result, error) {
+	return ApplyContext(context.Background(), input, p)
+}
+
+// ApplyContext is Apply with cancellation.
+func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (*Result, error) {
+	if p == nil {
+		return nil, errors.New("e9patch: nil plan")
+	}
+	if p.Version != plan.Version {
+		return nil, fmt.Errorf("e9patch: unsupported plan version %d (this build understands %d)", p.Version, plan.Version)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := p.CheckInput(input); err != nil {
+		return nil, fmt.Errorf("e9patch: %w", err)
+	}
+
+	// Work on a copy: PatchBytes mutates File.Data.
+	data := make([]byte, len(input))
+	copy(data, input)
+	f, err := elf64.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	var bias uint64
+	if f.IsPIE() {
+		bias = PIEBase
+	}
+	if bias != p.Bias {
+		return nil, fmt.Errorf("e9patch: plan load bias %#x does not match binary (%#x)", p.Bias, bias)
+	}
+	text, textAddr, err := f.Text()
+	if err != nil {
+		return nil, err
+	}
+	if textAddr+bias != p.TextAddr || len(text) != p.TextLen {
+		return nil, fmt.Errorf("e9patch: plan text geometry %#x+%d does not match binary %#x+%d",
+			p.TextAddr, p.TextLen, textAddr+bias, len(text))
+	}
+
+	// Replay the decision stream: byte edits into a fresh text image,
+	// trampolines and dispatch entries into the emit inputs, tactics
+	// into the statistics.
+	code := make([]byte, len(text))
+	copy(code, text)
+	var trs []patch.Trampoline
+	var locs []patch.LocResult
+	sig := make(map[uint64]uint64)
+	var stats patch.Stats
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		tac, ok := patch.TacticFromName(s.Tactic)
+		if !ok {
+			return nil, fmt.Errorf("e9patch: plan site %#x: unknown tactic %q", s.Addr, s.Tactic)
+		}
+		stats.Total++
+		if tac == patch.TacticNone {
+			stats.Failed++
+		} else {
+			stats.ByTactic[tac]++
+		}
+		locs = append(locs, patch.LocResult{Addr: s.Addr, Tactic: tac})
+		for _, wr := range s.Writes {
+			o := int64(wr.Addr) - int64(p.TextAddr)
+			if o < 0 || o+int64(len(wr.Data)) > int64(len(code)) {
+				return nil, fmt.Errorf("e9patch: plan write %#x+%d outside .text", wr.Addr, len(wr.Data))
+			}
+			copy(code[o:], wr.Data)
+		}
+		for _, tr := range s.Trampolines {
+			trs = append(trs, patch.Trampoline{Addr: tr.Addr, Code: tr.Code, ForAddr: tr.For, Evictee: tr.Evictee})
+		}
+		for _, se := range s.SigTab {
+			sig[se.Int3] = se.Trampoline
+		}
+	}
+
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	out, gres, err := materialize(f, bias, textAddr, code, trs, sig, p.Granularity)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Output:      out,
+		Stats:       stats,
+		Group:       gres.Stats,
+		Mappings:    gres.Stats.Mappings,
+		InputSize:   len(input),
+		OutputSize:  len(out),
+		Insts:       p.Insts,
+		BadBytes:    p.BadBytes,
+		Bias:        bias,
+		Trampolines: len(trs),
+		Locations:   locs,
+		Warnings:    p.Warnings,
+	}, nil
+}
+
+// planPipeline is the state the decision phase hands to its consumers
+// (PlanContext, and rewriteLegacy for the differential reference).
+type planPipeline struct {
+	f        *elf64.File
+	bias     uint64
+	textAddr uint64 // link-time .text address
+	textLen  int
+	rw       *patch.Rewriter
+	insts    int
+	badBytes int
+	warnings []string
+	gran     int // normalized granularity (negative: naive emission)
+}
+
+// runPlanPipeline executes the decision phases: parse → sharded
+// disassembly → match → S1 reverse-order patching with trampoline
+// allocation. All mutation happens on private copies; the input slice
+// is never written.
+func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeline, error) {
 	if cfg.Select == nil {
 		return nil, errors.New("e9patch: Config.Select is required")
 	}
@@ -231,7 +418,7 @@ func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, err
 		return nil, err
 	}
 
-	// Work on a copy: PatchBytes mutates File.Data.
+	// Work on a copy: the patch phase mutates its text image.
 	data := make([]byte, len(input))
 	copy(data, input)
 	f, err := elf64.Parse(data)
@@ -307,60 +494,86 @@ func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, err
 		popts.Pool = cfg.Pool
 	}
 	rw := patch.New(text, rtTextAddr, dres.Insts, space, poolHint, popts)
-	stats := rw.PatchAll(selected)
+	rw.PatchAll(selected)
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 
-	// Apply the patched text strictly in place.
-	if err := f.PatchBytes(textAddr, rw.Code()); err != nil {
-		return nil, err
-	}
+	return &planPipeline{
+		f:        f,
+		bias:     bias,
+		textAddr: textAddr,
+		textLen:  len(text),
+		rw:       rw,
+		insts:    len(dres.Insts),
+		badBytes: dres.BadBytes,
+		warnings: warnings,
+		gran:     cfg.Granularity,
+	}, nil
+}
 
-	// Group trampolines into merged physical blocks. Addresses are
-	// stored link-relative so the loader can apply any bias.
-	trs := rw.Trampolines()
+// materialize is the shared emit tail: write the patched text strictly
+// in place, group trampolines into merged physical blocks (addresses
+// stored link-relative so the loader can apply any bias), encode the
+// loader blob and append it without moving a byte of the original.
+func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.Trampoline, sig map[uint64]uint64, gran int) ([]byte, *group.Result, error) {
+	if err := f.PatchBytes(textAddr, code); err != nil {
+		return nil, nil, err
+	}
 	chunks := make([]group.Chunk, len(trs))
 	for i, tr := range trs {
 		chunks[i] = group.Chunk{Addr: tr.Addr - bias, Data: tr.Code}
 	}
-	gran := cfg.Granularity
 	naive := false
 	if gran < 0 {
 		gran, naive = 1, true
 	}
 	gres, err := group.Build(chunks, gran)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if naive {
 		gres = ungroup(gres)
 	}
+	shifted := make(map[uint64]uint64, len(sig))
+	for k, v := range sig {
+		shifted[k-bias] = v - bias
+	}
+	blob := loader.Encode(gres, gran, shifted, f.Header.Entry)
+	return elf64.Append(f.Data, blob), gres, nil
+}
 
-	// Emit phase: encode the loader blob and append it.
+// rewriteLegacy is the pre-split monolithic pipeline: decide and
+// materialize in one pass, straight from the rewriter's own state with
+// no plan in between. It is retained as the reference implementation
+// the Plan/Apply differential tests (make plancheck) compare against.
+func rewriteLegacy(ctx context.Context, input []byte, cfg Config) (*Result, error) {
+	st, err := runPlanPipeline(ctx, input, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	sig := make(map[uint64]uint64, len(rw.SigTab()))
-	for k, v := range rw.SigTab() {
-		sig[k-bias] = v - bias
+	rw := st.rw
+	trs := rw.Trampolines()
+	out, gres, err := materialize(st.f, st.bias, st.textAddr, rw.Code(), trs, rw.SigTab(), st.gran)
+	if err != nil {
+		return nil, err
 	}
-	blob := loader.Encode(gres, gran, sig, f.Header.Entry)
-	out := elf64.Append(f.Data, blob)
-
 	return &Result{
 		Output:      out,
-		Stats:       stats,
+		Stats:       rw.Stats(),
 		Group:       gres.Stats,
 		Mappings:    gres.Stats.Mappings,
 		InputSize:   len(input),
 		OutputSize:  len(out),
-		Insts:       len(dres.Insts),
-		BadBytes:    dres.BadBytes,
-		Bias:        bias,
+		Insts:       st.insts,
+		BadBytes:    st.badBytes,
+		Bias:        st.bias,
 		Trampolines: len(trs),
 		Locations:   rw.Results(),
-		Warnings:    warnings,
+		Warnings:    st.warnings,
 	}, nil
 }
 

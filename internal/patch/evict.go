@@ -93,7 +93,8 @@ func (r *Rewriter) evictAndRepun(inst, succ *x86.Inst, wS punWindow, tS uint64, 
 		r.commitJump(succ.Addr, succ.Len, wS, jS)
 		jI := jumpBytes(r.code, r.off(inst.Addr), inst.Addr, inst.Len, wI, tP)
 		r.commitJump(inst.Addr, inst.Len, wI, jI)
-		r.trampolines = append(r.trampolines,
+		r.notePad(wI.pad)
+		r.addTrampoline(
 			Trampoline{Addr: tS, Code: evCode, ForAddr: succ.Addr, Evictee: true},
 			Trampoline{Addr: tP, Code: pCode, ForAddr: inst.Addr},
 		)
@@ -262,17 +263,16 @@ func (r *Rewriter) tryT3Victim(inst, v *x86.Inst, j, patchSize int, punnedRel8 b
 	r.commitJump(v.Addr, j, wV, jV)
 
 	// Step (b): the short jump replacing the patch instruction.
-	o := r.off(inst.Addr)
-	r.code[o] = 0xEB
 	if punnedRel8 {
-		// rel8 is the successor's punned first byte: lock it.
-		r.lock(inst.Addr, 2)
+		// rel8 is the successor's punned first byte: write only the
+		// opcode and lock both.
+		r.writeCode(inst.Addr, []byte{0xEB})
 	} else {
-		r.code[o+1] = byte(jPatchAddr - inst.Addr - 2)
-		r.lock(inst.Addr, 2)
+		r.writeCode(inst.Addr, []byte{0xEB, byte(jPatchAddr - inst.Addr - 2)})
 	}
+	r.lock(inst.Addr, 2)
 
-	r.trampolines = append(r.trampolines,
+	r.addTrampoline(
 		Trampoline{Addr: tP, Code: pCode, ForAddr: inst.Addr},
 		Trampoline{Addr: tV, Code: evCode, ForAddr: v.Addr, Evictee: true},
 	)

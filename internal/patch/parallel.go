@@ -297,10 +297,13 @@ func (r *Rewriter) patchRegions(regions [][]int) {
 		subs[i] = redo
 	}
 
-	// Merge region outputs in patch (descending) order.
+	// Merge region outputs — trampolines, per-location results and
+	// plan fragments alike — in patch (descending) order, so the
+	// recorded plan is identical to a sequential run's.
 	for _, sub := range subs {
 		r.trampolines = append(r.trampolines, sub.trampolines...)
 		r.results = append(r.results, sub.results...)
+		r.sites = append(r.sites, sub.sites...)
 		r.stats.Total += sub.stats.Total
 		r.stats.Failed += sub.stats.Failed
 		for t := range sub.stats.ByTactic {

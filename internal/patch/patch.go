@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"e9patch/internal/plan"
 	"e9patch/internal/trampoline"
 	"e9patch/internal/va"
 	"e9patch/internal/work"
@@ -52,6 +53,17 @@ func (t Tactic) String() string {
 		return tacticNames[t]
 	}
 	return fmt.Sprintf("tactic(%d)", uint8(t))
+}
+
+// TacticFromName is the inverse of Tactic.String, used when replaying
+// a serialized plan.
+func TacticFromName(name string) (Tactic, bool) {
+	for i, n := range tacticNames {
+		if n == name {
+			return Tactic(i), true
+		}
+	}
+	return TacticNone, false
 }
 
 // Options configures the rewriter.
@@ -167,6 +179,12 @@ type Rewriter struct {
 	sigTab      map[uint64]uint64 // B0: int3 address -> trampoline
 	stats       Stats
 
+	// sites is the plan record: one entry per patch location, holding
+	// every committed effect (emit.go). cur is the entry being built
+	// for the location currently inside patchOne.
+	sites []plan.Site
+	cur   *plan.Site
+
 	// hint is the bump cursor for unconstrained allocations.
 	hint uint64
 
@@ -226,6 +244,10 @@ func (r *Rewriter) Results() []LocResult { return r.results }
 // SigTab returns the B0 dispatch table (int3 address -> trampoline).
 func (r *Rewriter) SigTab() map[uint64]uint64 { return r.sigTab }
 
+// Sites returns the recorded per-location plan entries in patch order;
+// flattened, their trampolines equal Trampolines() exactly.
+func (r *Rewriter) Sites() []plan.Site { return r.sites }
+
 // Stats returns aggregate patching statistics.
 func (r *Rewriter) Stats() Stats { return r.stats }
 
@@ -280,10 +302,13 @@ func (r *Rewriter) PatchAll(indices []int) Stats {
 	return r.stats
 }
 
-// patchOne escalates through the tactics for a single location.
+// patchOne escalates through the tactics for a single location. The
+// tactic functions decide; their committed effects are recorded into
+// the site's plan entry by the emit half (emit.go).
 func (r *Rewriter) patchOne(idx int) {
 	inst := &r.insts[idx]
 	r.stats.Total++
+	r.beginSite(inst.Addr)
 
 	tactic := TacticNone
 	switch {
@@ -312,5 +337,6 @@ func (r *Rewriter) patchOne(idx int) {
 	} else {
 		r.stats.ByTactic[tactic]++
 	}
+	r.endSite(tactic)
 	r.results = append(r.results, LocResult{Addr: inst.Addr, Tactic: tactic})
 }

@@ -190,19 +190,6 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// commitJump writes the jump bytes and updates the lock state: modified
-// bytes and punned bytes both lock; instruction bytes beyond the jump
-// stay untouched and unlocked (Figure 1's byte 2 discussion).
-func (r *Rewriter) commitJump(addr uint64, instLen int, w punWindow, jmp []byte) {
-	o := r.off(addr)
-	writeLen := minI(instLen, w.jumpLen)
-	copy(r.code[o:o+writeLen], jmp[:writeLen])
-	r.lock(addr, writeLen) // modified
-	if w.jumpLen > instLen {
-		r.lock(addr+uint64(instLen), w.jumpLen-instLen) // punned
-	}
-}
-
 // tryJumpPad attempts a single pun placement (one padding value) for
 // the patch instruction, allocating its trampoline on success.
 func (r *Rewriter) tryJumpPad(inst *x86.Inst, pad int, tmpl trampoline.Template, evictee bool) bool {
@@ -220,7 +207,8 @@ func (r *Rewriter) tryJumpPad(inst *x86.Inst, pad int, tmpl trampoline.Template,
 	}
 	jmp := jumpBytes(r.code, r.off(inst.Addr), inst.Addr, inst.Len, w, t)
 	r.commitJump(inst.Addr, inst.Len, w, jmp)
-	r.trampolines = append(r.trampolines, Trampoline{
+	r.notePad(w.pad)
+	r.addTrampoline(Trampoline{
 		Addr: t, Code: code, ForAddr: inst.Addr, Evictee: evictee,
 	})
 	return true
@@ -262,11 +250,10 @@ func (r *Rewriter) tryInt3(inst *x86.Inst) bool {
 	if !ok {
 		return false
 	}
-	o := r.off(inst.Addr)
-	r.code[o] = 0xCC
+	r.writeCode(inst.Addr, []byte{0xCC})
 	r.lock(inst.Addr, 1)
-	r.sigTab[inst.Addr] = t
-	r.trampolines = append(r.trampolines, Trampoline{
+	r.addSigTab(inst.Addr, t)
+	r.addTrampoline(Trampoline{
 		Addr: t, Code: code, ForAddr: inst.Addr,
 	})
 	return true

@@ -1,0 +1,203 @@
+// Package plan defines the serializable patch-plan IR that joins the
+// rewriter's two phases: Plan (all decisions — tactic selection, pun
+// and prefix choices, eviction chains, trampoline placement — made
+// against the input bytes) and Apply (a decision-free materializer
+// that replays the recorded decisions onto the input and reproduces
+// the rewritten binary byte-for-byte).
+//
+// A PatchPlan is a pure function of the input binary and the rewrite
+// configuration: planning the same binary twice yields byte-identical
+// encodings. That makes plans content-addressable artefacts — a few
+// kilobytes that can be cached, diffed, audited, or shipped to another
+// machine and applied there, instead of the megabyte-scale output
+// binary they describe.
+//
+// The package is a leaf: it depends only on the standard library, so
+// every layer (patch core, public API, server, tools) can share the IR
+// without import cycles.
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the plan schema version understood by this build. Decode
+// rejects any other value: a plan is an exact replay script, so there
+// is no forward- or backward-compatible interpretation of a mismatch.
+const Version = 1
+
+// Bytes is a byte slice that serializes as a lowercase hex string, so
+// machine code stays greppable in the JSON form.
+type Bytes []byte
+
+// MarshalJSON implements json.Marshaler.
+func (b Bytes) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hex.EncodeToString(b))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Bytes) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return err
+	}
+	*b = raw
+	return nil
+}
+
+// Write is one committed byte edit inside the text section, in runtime
+// coordinates (load bias included).
+type Write struct {
+	Addr uint64 `json:"addr"`
+	Data Bytes  `json:"data"`
+}
+
+// Trampoline is one trampoline the plan places: its virtual address,
+// the patched (or evicted) instruction it serves, and the emitted code.
+type Trampoline struct {
+	Addr    uint64 `json:"addr"`
+	For     uint64 `json:"for"`
+	Evictee bool   `json:"evictee,omitempty"`
+	Code    Bytes  `json:"code"`
+}
+
+// SigEntry is one B0 dispatch-table binding: the int3 address and the
+// trampoline the SIGTRAP handler must redirect to.
+type SigEntry struct {
+	Int3       uint64 `json:"int3"`
+	Trampoline uint64 `json:"trampoline"`
+}
+
+// Site records the complete decision for one patch location, in patch
+// (descending-address) order. A failed location is recorded too — with
+// tactic "none" and no effects — so per-location outcomes and
+// statistics survive the round trip.
+type Site struct {
+	// Addr is the patch instruction's runtime address.
+	Addr uint64 `json:"addr"`
+	// Tactic is the methodology that succeeded ("B1", "B2", "T1",
+	// "T2", "T3", "B0") or "none".
+	Tactic string `json:"tactic"`
+	// Pad is the redundant-prefix count chosen for the patch jump
+	// (the T1 prefix choice; 0 for unpadded placements).
+	Pad int `json:"pad,omitempty"`
+	// Writes are the committed text edits, in commit order. For T2/T3
+	// the victim's eviction jump precedes the patch jump, preserving
+	// the evictee chain.
+	Writes []Write `json:"writes,omitempty"`
+	// Trampolines are the trampolines emitted for this site, evictee
+	// trampolines included, in emission order.
+	Trampolines []Trampoline `json:"trampolines,omitempty"`
+	// SigTab holds the site's B0 dispatch entries (at most one today).
+	SigTab []SigEntry `json:"sigtab,omitempty"`
+}
+
+// PatchPlan is the full rewrite decision record for one input binary.
+type PatchPlan struct {
+	// Version is the schema version (see Version).
+	Version int `json:"version"`
+	// InputSHA256 binds the plan to its input binary; Apply refuses
+	// any other input. Empty means unbound (hand-authored plans).
+	InputSHA256 string `json:"inputSha256,omitempty"`
+	// Bias is the load bias used while planning (PIEBase for PIE).
+	Bias uint64 `json:"bias"`
+	// TextAddr is the runtime virtual address of .text (bias included);
+	// TextLen its size. Apply validates both against the input.
+	TextAddr uint64 `json:"textAddr"`
+	TextLen  int    `json:"textLen"`
+	// Granularity is the physical-page-grouping block size in pages
+	// (negative: grouping disabled, naïve one-to-one emission).
+	Granularity int `json:"granularity"`
+	// SkipPrefix mirrors Config.SkipPrefix, for audit only.
+	SkipPrefix uint64 `json:"skipPrefix,omitempty"`
+	// Insts and BadBytes record the disassembly outcome the decisions
+	// were made against.
+	Insts    int `json:"insts"`
+	BadBytes int `json:"badBytes,omitempty"`
+	// Warnings carries the non-fatal diagnostics of the plan phase.
+	Warnings []string `json:"warnings,omitempty"`
+	// Sites are the per-location decisions in patch order.
+	Sites []Site `json:"sites"`
+}
+
+// Encode renders the plan as deterministic, indented JSON (struct
+// field order is fixed and no maps are involved, so identical plans
+// encode to identical bytes).
+func (p *PatchPlan) Encode() ([]byte, error) {
+	j, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("plan: encode: %w", err)
+	}
+	return append(j, '\n'), nil
+}
+
+// Decode parses an encoded plan and checks the schema version.
+func Decode(data []byte) (*PatchPlan, error) {
+	var p PatchPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	if p.Version != Version {
+		return nil, fmt.Errorf("plan: unsupported version %d (this build understands %d)", p.Version, Version)
+	}
+	return &p, nil
+}
+
+// InputDigest returns the hex SHA-256 a plan uses to bind its input.
+func InputDigest(input []byte) string {
+	h := sha256.Sum256(input)
+	return hex.EncodeToString(h[:])
+}
+
+// BindInput records the digest of the input binary the plan was made
+// for.
+func (p *PatchPlan) BindInput(input []byte) { p.InputSHA256 = InputDigest(input) }
+
+// CheckInput verifies input matches the bound digest. Unbound plans
+// (empty InputSHA256) pass vacuously.
+func (p *PatchPlan) CheckInput(input []byte) error {
+	if p.InputSHA256 == "" {
+		return nil
+	}
+	if got := InputDigest(input); got != p.InputSHA256 {
+		return fmt.Errorf("plan: input mismatch: plan bound to sha256 %s, input is %s", p.InputSHA256, got)
+	}
+	return nil
+}
+
+// TacticCounts aggregates the per-site tactics by name.
+func (p *PatchPlan) TacticCounts() map[string]int {
+	out := make(map[string]int)
+	for i := range p.Sites {
+		out[p.Sites[i].Tactic]++
+	}
+	return out
+}
+
+// TrampolineCount returns the number of trampolines the plan places.
+func (p *PatchPlan) TrampolineCount() int {
+	n := 0
+	for i := range p.Sites {
+		n += len(p.Sites[i].Trampolines)
+	}
+	return n
+}
+
+// PatchedBytes returns the total number of text bytes the plan edits,
+// an audit measure of rewrite footprint.
+func (p *PatchPlan) PatchedBytes() int {
+	n := 0
+	for i := range p.Sites {
+		for _, w := range p.Sites[i].Writes {
+			n += len(w.Data)
+		}
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBytesHexRoundTrip(t *testing.T) {
+	p := &PatchPlan{
+		Version: Version,
+		Sites: []Site{{
+			Addr:   0x401000,
+			Tactic: "B2",
+			Writes: []Write{{Addr: 0x401000, Data: Bytes{0xE9, 0x00, 0xAB, 0xCD, 0xEF}}},
+		}},
+	}
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(enc, []byte(`"e900abcdef"`)) {
+		t.Errorf("machine code not hex-encoded:\n%s", enc)
+	}
+	q, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(q.Sites[0].Writes[0].Data, p.Sites[0].Writes[0].Data) {
+		t.Errorf("bytes changed across round trip: %x", q.Sites[0].Writes[0].Data)
+	}
+}
+
+func TestDecodeRejectsBadHex(t *testing.T) {
+	var b Bytes
+	if err := b.UnmarshalJSON([]byte(`"zz"`)); err == nil {
+		t.Error("bad hex: want error")
+	}
+	if err := b.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("non-string: want error")
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	p := &PatchPlan{Version: Version + 1}
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("want version error, got %v", err)
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("malformed JSON: want error")
+	}
+}
+
+func TestInputBinding(t *testing.T) {
+	in := []byte{1, 2, 3}
+	p := &PatchPlan{Version: Version}
+	if err := p.CheckInput(in); err != nil {
+		t.Errorf("unbound plan should accept any input: %v", err)
+	}
+	p.BindInput(in)
+	if err := p.CheckInput(in); err != nil {
+		t.Errorf("bound plan rejects its own input: %v", err)
+	}
+	if err := p.CheckInput([]byte{1, 2, 4}); err == nil {
+		t.Error("bound plan accepted a different input")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	p := &PatchPlan{
+		Version: Version,
+		Sites: []Site{
+			{Tactic: "B2", Writes: []Write{{Data: Bytes{1, 2, 3}}},
+				Trampolines: []Trampoline{{Addr: 1}}},
+			{Tactic: "T2", Writes: []Write{{Data: Bytes{4}}, {Data: Bytes{5, 6}}},
+				Trampolines: []Trampoline{{Addr: 2}, {Addr: 3, Evictee: true}}},
+			{Tactic: "none"},
+			{Tactic: "B2"},
+		},
+	}
+	tc := p.TacticCounts()
+	if tc["B2"] != 2 || tc["T2"] != 1 || tc["none"] != 1 {
+		t.Errorf("TacticCounts = %v", tc)
+	}
+	if got := p.TrampolineCount(); got != 3 {
+		t.Errorf("TrampolineCount = %d, want 3", got)
+	}
+	if got := p.PatchedBytes(); got != 6 {
+		t.Errorf("PatchedBytes = %d, want 6", got)
+	}
+}
+
+// TestEncodeDeterminism pins that two structurally equal plans encode
+// to identical bytes (structs only, fixed field order, no maps).
+func TestEncodeDeterminism(t *testing.T) {
+	mk := func() *PatchPlan {
+		return &PatchPlan{
+			Version: Version, Bias: 0x1000, TextAddr: 0x401000, TextLen: 64,
+			Granularity: 1, Insts: 9, Warnings: []string{"w"},
+			Sites: []Site{{Addr: 0x401000, Tactic: "B0",
+				SigTab: []SigEntry{{Int3: 0x401000, Trampoline: 0x500000}}}},
+		}
+	}
+	a, err := mk().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("equal plans encoded differently")
+	}
+}

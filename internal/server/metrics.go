@@ -19,6 +19,8 @@ type Metrics struct {
 	rewrites  uint64            // underlying RewriteContext invocations
 	hits      uint64            // result-cache hits
 	misses    uint64            // result-cache misses
+	planHits  uint64            // plan-cache hits (result rematerialized)
+	planMiss  uint64            // plan-cache misses
 	coalesced uint64            // requests that shared another request's flight
 	queueFull uint64            // submissions rejected by backpressure
 	inflight  int64             // requests currently being handled
@@ -48,8 +50,13 @@ func (m *Metrics) IncRewrite() { m.inc(&m.rewrites) }
 
 // IncHit / IncMiss / IncCoalesced / IncQueueFull count cache and
 // coalescing outcomes.
-func (m *Metrics) IncHit()       { m.inc(&m.hits) }
-func (m *Metrics) IncMiss()      { m.inc(&m.misses) }
+func (m *Metrics) IncHit()  { m.inc(&m.hits) }
+func (m *Metrics) IncMiss() { m.inc(&m.misses) }
+
+// IncPlanHit / IncPlanMiss count plan-tier outcomes (consulted only
+// after a result-cache miss).
+func (m *Metrics) IncPlanHit()   { m.inc(&m.planHits) }
+func (m *Metrics) IncPlanMiss()  { m.inc(&m.planMiss) }
 func (m *Metrics) IncCoalesced() { m.inc(&m.coalesced) }
 func (m *Metrics) IncQueueFull() { m.inc(&m.queueFull) }
 
@@ -82,11 +89,14 @@ func (m *Metrics) Observe(seconds float64) {
 // Gauges carries point-in-time values owned by other components,
 // sampled at scrape time.
 type Gauges struct {
-	QueueDepth     int
-	CacheEntries   int
-	CacheBytes     int64
-	CacheEvictions uint64
-	Workers        int
+	QueueDepth         int
+	CacheEntries       int
+	CacheBytes         int64
+	CacheEvictions     uint64
+	PlanCacheEntries   int
+	PlanCacheBytes     int64
+	PlanCacheEvictions uint64
+	Workers            int
 }
 
 // WriteText renders the registry in Prometheus text exposition format.
@@ -112,6 +122,9 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	counter("e9served_cache_hits_total", "Result-cache hits.", m.hits)
 	counter("e9served_cache_misses_total", "Result-cache misses.", m.misses)
 	counter("e9served_cache_evictions_total", "Result-cache evictions.", g.CacheEvictions)
+	counter("e9served_plan_cache_hits_total", "Plan-cache hits (result rematerialized from a cached plan).", m.planHits)
+	counter("e9served_plan_cache_misses_total", "Plan-cache misses.", m.planMiss)
+	counter("e9served_plan_cache_evictions_total", "Plan-cache evictions.", g.PlanCacheEvictions)
 	counter("e9served_coalesced_total", "Requests coalesced onto another request's rewrite.", m.coalesced)
 	counter("e9served_queue_full_total", "Requests rejected because the work queue was full.", m.queueFull)
 
@@ -123,6 +136,8 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	gauge("e9served_workers", "Worker pool size.", int64(g.Workers))
 	gauge("e9served_cache_entries", "Result-cache entry count.", int64(g.CacheEntries))
 	gauge("e9served_cache_bytes", "Result-cache bytes in use.", g.CacheBytes)
+	gauge("e9served_plan_cache_entries", "Plan-cache entry count.", int64(g.PlanCacheEntries))
+	gauge("e9served_plan_cache_bytes", "Plan-cache bytes in use.", g.PlanCacheBytes)
 
 	fmt.Fprintf(w, "# HELP e9served_request_duration_seconds Request latency.\n")
 	fmt.Fprintf(w, "# TYPE e9served_request_duration_seconds histogram\n")

@@ -42,6 +42,11 @@ type Config struct {
 	QueueLen int
 	// CacheBytes is the result-cache byte budget (default 256 MiB).
 	CacheBytes int64
+	// PlanCacheBytes is the plan-cache byte budget (default 64 MiB).
+	// Plans are kilobyte-scale, so this tier remembers far more history
+	// than the result cache; a repeat request whose result was evicted
+	// is rematerialized from its plan instead of replanned.
+	PlanCacheBytes int64
 	// Timeout bounds one rewrite job, queue wait included (default
 	// 60s; 0 keeps the default, negative disables).
 	Timeout time.Duration
@@ -58,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.PlanCacheBytes <= 0 {
+		c.PlanCacheBytes = 64 << 20
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 60 * time.Second
@@ -77,7 +85,8 @@ type RewriteFunc func(ctx context.Context, binary []byte, spec *Spec) (*e9patch.
 type Server struct {
 	cfg      Config
 	pool     *pool
-	cache    *lruCache
+	cache    *lruCache[*cacheEntry]
+	plans    *lruCache[*planEntry]
 	flights  *flightGroup
 	metrics  *Metrics
 	rewrite  RewriteFunc
@@ -98,7 +107,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		pool:    newPool(cfg.Workers, cfg.QueueLen),
-		cache:   newLRUCache(cfg.CacheBytes),
+		cache:   newLRUCache[*cacheEntry](cfg.CacheBytes),
+		plans:   newLRUCache[*planEntry](cfg.PlanCacheBytes),
 		flights: newFlightGroup(),
 		metrics: NewMetrics(),
 		shards:  e9patch.NewPool(cfg.Workers),
@@ -112,7 +122,18 @@ func New(cfg Config) *Server {
 			rcfg.Parallelism = s.cfg.Workers
 		}
 		rcfg.Pool = s.shards
-		return e9patch.RewriteContext(ctx, binary, rcfg)
+		// Plan, bank the plan in the second cache tier, then apply. The
+		// plan costs kilobytes where the result costs the whole output
+		// binary, so it survives long after the result entry is evicted
+		// and turns a future repeat into a decision-free rematerialize.
+		p, err := e9patch.PlanContext(ctx, binary, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		if enc, err := p.Encode(); err == nil {
+			s.plans.put(cacheKey(binary, spec), &planEntry{data: enc})
+		}
+		return e9patch.ApplyContext(ctx, binary, p)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
@@ -146,13 +167,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	entries, bytes, evictions := s.cache.stats()
+	pEntries, pBytes, pEvictions := s.plans.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w, Gauges{
-		QueueDepth:     s.pool.depth(),
-		CacheEntries:   entries,
-		CacheBytes:     bytes,
-		CacheEvictions: evictions,
-		Workers:        s.cfg.Workers,
+		QueueDepth:         s.pool.depth(),
+		CacheEntries:       entries,
+		CacheBytes:         bytes,
+		CacheEvictions:     evictions,
+		PlanCacheEntries:   pEntries,
+		PlanCacheBytes:     pBytes,
+		PlanCacheEvictions: pEvictions,
+		Workers:            s.cfg.Workers,
 	})
 }
 
@@ -175,8 +200,22 @@ type rewriteStats struct {
 	Warnings    []string `json:"warnings,omitempty"`
 }
 
+// rematerialize replays a cached plan onto the request body, yielding
+// the same entry a full rewrite would have produced.
+func (s *Server) rematerialize(ctx context.Context, body []byte, pe *planEntry) (*cacheEntry, error) {
+	p, err := e9patch.DecodePlan(pe.data)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e9patch.ApplyContext(ctx, body, p)
+	if err != nil {
+		return nil, err
+	}
+	return entryFromResult(res), nil
+}
+
 // entryFromResult freezes a rewrite result into a cache entry.
-func entryFromResult(key string, res *e9patch.Result) *cacheEntry {
+func entryFromResult(res *e9patch.Result) *cacheEntry {
 	st := rewriteStats{
 		Total:       res.Stats.Total,
 		Patched:     res.Stats.Patched(),
@@ -198,7 +237,7 @@ func entryFromResult(key string, res *e9patch.Result) *cacheEntry {
 	if err != nil { // struct of ints and strings: cannot fail
 		j = []byte("{}")
 	}
-	return &cacheEntry{key: key, out: res.Output, statsJSON: j}
+	return &cacheEntry{out: res.Output, statsJSON: j}
 }
 
 func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +283,22 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.IncMiss()
 
+	// Second tier: a banked plan rematerializes the result without any
+	// tactic search. Apply is pure replay — a small fraction of a full
+	// rewrite — so it runs on the handler goroutine rather than queueing
+	// behind planning-heavy jobs in the worker pool.
+	if pe, ok := s.plans.get(key); ok {
+		if e, err := s.rematerialize(r.Context(), body, pe); err == nil {
+			s.metrics.IncPlanHit()
+			s.cache.put(key, e)
+			s.serve(w, e, "plan")
+			return
+		}
+		// A plan that no longer applies (corrupt or stale) is treated as
+		// a miss; the full pipeline below replaces it.
+	}
+	s.metrics.IncPlanMiss()
+
 	entry, shared, err := s.flights.do(r.Context(), key, s.cfg.Timeout,
 		func(jobCtx context.Context, finish func(*cacheEntry, error)) error {
 			submitErr := s.pool.trySubmit(func() {
@@ -257,8 +312,8 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 					finish(nil, err)
 					return
 				}
-				e := entryFromResult(key, res)
-				s.cache.put(e)
+				e := entryFromResult(res)
+				s.cache.put(key, e)
 				finish(e, nil)
 			})
 			if submitErr != nil {

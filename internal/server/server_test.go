@@ -457,16 +457,16 @@ func TestSpecCanonical(t *testing.T) {
 
 // TestCacheEviction exercises the byte-budgeted LRU.
 func TestCacheEviction(t *testing.T) {
-	c := newLRUCache(100)
-	mk := func(key string, n int) *cacheEntry {
-		return &cacheEntry{key: key, out: bytes.Repeat([]byte("x"), n)}
+	c := newLRUCache[*cacheEntry](100)
+	mk := func(n int) *cacheEntry {
+		return &cacheEntry{out: bytes.Repeat([]byte("x"), n)}
 	}
-	c.put(mk("a", 40))
-	c.put(mk("b", 40))
+	c.put("a", mk(40))
+	c.put("b", mk(40))
 	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.put(mk("c", 40)) // 120 > 100: evicts b
+	c.put("c", mk(40)) // 120 > 100: evicts b
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -482,13 +482,13 @@ func TestCacheEviction(t *testing.T) {
 	}
 
 	// Oversized entries are not cached at all.
-	c.put(mk("huge", 200))
+	c.put("huge", mk(200))
 	if _, ok := c.get("huge"); ok {
 		t.Fatal("entry larger than the budget was cached")
 	}
 
 	// Refreshing an existing key adjusts the byte charge.
-	c.put(mk("a", 60))
+	c.put("a", mk(60))
 	_, used, _ = c.stats()
 	if used != 100 {
 		t.Fatalf("used = %d after refresh, want 100", used)
@@ -542,5 +542,67 @@ func TestParallelismSharesCacheEntry(t *testing.T) {
 	resp0, body := post("0")
 	if resp0.StatusCode != http.StatusBadRequest {
 		t.Fatalf("parallelism=0 status %d (%s), want 400", resp0.StatusCode, body)
+	}
+}
+
+// TestPlanCacheRematerialize pins the second cache tier: with a result
+// cache too small to hold anything, a repeat request must be answered
+// by rematerializing the banked plan — identical body, no second
+// rewrite execution, and the hit recorded in /metrics.
+func TestPlanCacheRematerialize(t *testing.T) {
+	// CacheBytes: 1 → every result entry is oversized and never cached,
+	// so repeat requests can only be served from the plan tier.
+	srv := New(Config{Workers: 2, QueueLen: 8, CacheBytes: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bin := kernelELF(t)
+	url := ts.URL + "/v1/rewrite?match=jcc&action=empty"
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(bin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, out
+	}
+
+	resp1, out1 := post()
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, out1)
+	}
+	if got := resp1.Header.Get("X-E9-Cache"); got != "miss" {
+		t.Fatalf("first request cache status %q, want miss", got)
+	}
+
+	resp2, out2 := post()
+	if got := resp2.Header.Get("X-E9-Cache"); got != "plan" {
+		t.Fatalf("second request cache status %q, want plan", got)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatal("rematerialized body differs from the original rewrite")
+	}
+	if resp2.Header.Get("X-E9-Stats") != resp1.Header.Get("X-E9-Stats") {
+		t.Fatalf("stats header changed across rematerialization:\n%s\n%s",
+			resp1.Header.Get("X-E9-Stats"), resp2.Header.Get("X-E9-Stats"))
+	}
+
+	h := srv.Handler()
+	if got := metricValue(t, h, "e9served_rewrites_total"); got != 1 {
+		t.Fatalf("rewrites_total = %g, want 1 (rematerialize must not replan)", got)
+	}
+	if got := metricValue(t, h, "e9served_plan_cache_hits_total"); got != 1 {
+		t.Fatalf("plan_cache_hits_total = %g, want 1", got)
+	}
+	if got := metricValue(t, h, "e9served_plan_cache_entries"); got != 1 {
+		t.Fatalf("plan_cache_entries = %g, want 1", got)
+	}
+	if got := metricValue(t, h, "e9served_plan_cache_bytes"); got <= 0 {
+		t.Fatalf("plan_cache_bytes = %g, want > 0", got)
 	}
 }
