@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest plancheck bench bench-json bench-parallel bench-plancache servertest fuzzshort ci
+.PHONY: all build fmt vet test race difftest plancheck bench bench-json bench-parallel bench-plancache servertest fuzzshort fuzzhostile ci
 
 all: build test
 
@@ -73,4 +73,13 @@ fuzzshort:
 	$(GO) test -run '^FuzzEngines$$' -fuzz '^FuzzEngines$$' -fuzztime 5s .
 	$(GO) test -run '^FuzzParallelRewrite$$' -fuzz '^FuzzParallelRewrite$$' -fuzztime 5s .
 
-ci: fmt vet race difftest plancheck servertest fuzzshort
+# fuzzhostile explores the malformed-ELF input space (seeded from the
+# checked-in testdata/hostile corpus) plus the hostile deterministic
+# suites: truncations, header bit flips, tampered plans, limit bounds.
+# The property is containment — hostile input may be rejected, but only
+# with a classified error, never a panic or ErrInternal.
+fuzzhostile:
+	$(GO) test -run 'TestHostile|TestLibraryLimits' -count 1 .
+	$(GO) test -run '^FuzzRewriteHostileELF$$' -fuzz '^FuzzRewriteHostileELF$$' -fuzztime 10s .
+
+ci: fmt vet race difftest plancheck servertest fuzzshort fuzzhostile

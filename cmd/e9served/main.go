@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"e9patch"
 	"e9patch/internal/server"
 )
 
@@ -52,6 +53,14 @@ func main() {
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-rewrite time budget (queue wait included)")
 		maxBodyMB = flag.Int("max-body-mb", 64, "maximum request body in MiB")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+
+		// Hostile-input hardening: per-rewrite resource limits (0
+		// disables a bound). Violations answer 413/422/504 and are
+		// counted per reason in e9served_rejected_total.
+		maxTextMB    = flag.Int("max-text-mb", 0, "maximum .text section size in MiB (0: unlimited)")
+		maxSites     = flag.Int("max-sites", 0, "maximum patch sites per rewrite (0: unlimited)")
+		maxTrampMB   = flag.Int("max-tramp-mb", 0, "maximum emitted trampoline bytes in MiB (0: unlimited)")
+		phaseTimeout = flag.Duration("phase-timeout", 0, "per-phase (disassembly, patching) deadline (0: unlimited)")
 	)
 	flag.Parse()
 
@@ -62,6 +71,12 @@ func main() {
 		PlanCacheBytes: int64(*planMB) << 20,
 		Timeout:        *timeout,
 		MaxBodyBytes:   int64(*maxBodyMB) << 20,
+		Limits: e9patch.Limits{
+			MaxTextBytes:       int64(*maxTextMB) << 20,
+			MaxPatchSites:      *maxSites,
+			MaxTrampolineBytes: int64(*maxTrampMB) << 20,
+			PhaseTimeout:       *phaseTimeout,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *addr)

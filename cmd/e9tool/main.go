@@ -44,6 +44,14 @@ func main() {
 		dryRun    = flag.Bool("dry-run", false, "plan only: report tactics and footprint, write nothing")
 		emitPlan  = flag.String("emit-plan", "", "plan only: write the patch plan JSON to FILE")
 		applyPlan = flag.String("apply-plan", "", "skip planning: replay the patch plan JSON from FILE")
+
+		// Hostile-input hardening: resource limits for rewriting
+		// untrusted binaries (0 disables a bound).
+		maxInputMB   = flag.Int("max-input-mb", 0, "maximum input size in MiB (0: unlimited)")
+		maxTextMB    = flag.Int("max-text-mb", 0, "maximum .text section size in MiB (0: unlimited)")
+		maxSites     = flag.Int("max-sites", 0, "maximum patch sites (0: unlimited)")
+		maxTrampMB   = flag.Int("max-tramp-mb", 0, "maximum emitted trampoline bytes in MiB (0: unlimited)")
+		phaseTimeout = flag.Duration("phase-timeout", 0, "per-phase (disassembly, patching) deadline (0: unlimited)")
 	)
 	flag.Parse()
 	planOnly := *dryRun || *emitPlan != ""
@@ -105,6 +113,13 @@ func main() {
 		Granularity: *gran,
 		SkipPrefix:  *skip,
 		Patch:       patch.Options{B0Fallback: *b0},
+		Limits: e9patch.Limits{
+			MaxInputBytes:      int64(*maxInputMB) << 20,
+			MaxTextBytes:       int64(*maxTextMB) << 20,
+			MaxPatchSites:      *maxSites,
+			MaxTrampolineBytes: int64(*maxTrampMB) << 20,
+			PhaseTimeout:       *phaseTimeout,
+		},
 	}
 	switch {
 	case *action == "empty":

@@ -23,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"e9patch/internal/disasm"
+	"e9patch/internal/e9err"
 	"e9patch/internal/elf64"
 	"e9patch/internal/emu"
 	"e9patch/internal/group"
@@ -161,6 +163,11 @@ type Config struct {
 	// rewrites handed the same pool never exceed its size in total
 	// helper goroutines, even while each also shards internally.
 	Pool *Pool
+	// Limits bounds the resources this rewrite may consume (input and
+	// text size, patch sites, trampoline bytes, per-phase deadlines).
+	// The zero value disables every bound; violations surface as
+	// ErrResourceLimit.
+	Limits Limits
 }
 
 // Result is the outcome of a rewrite.
@@ -231,6 +238,16 @@ func ctxErr(ctx context.Context) error {
 	return nil
 }
 
+// phaseDeadline derives a per-phase context when Limits.PhaseTimeout is
+// set; with no timeout the parent context is returned unchanged with a
+// no-op cancel, so callers can treat both shapes uniformly.
+func phaseDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
 // RewriteContext is Rewrite with cancellation: the pipeline checks ctx
 // at every phase boundary (parse → disasm → match → patch →
 // trampoline/group → emit) and inside the patching loop, so a rewrite
@@ -255,8 +272,12 @@ func Plan(input []byte, cfg Config) (*PatchPlan, error) {
 	return PlanContext(context.Background(), input, cfg)
 }
 
-// PlanContext is Plan with cancellation (see RewriteContext).
-func PlanContext(ctx context.Context, input []byte, cfg Config) (*PatchPlan, error) {
+// PlanContext is Plan with cancellation (see RewriteContext). It is a
+// recovery boundary: a panic escaping the pipeline — a rewriter bug
+// tripped by unforeseen input — is contained and returned as
+// ErrInternal with the stack attached, never propagated to the caller.
+func PlanContext(ctx context.Context, input []byte, cfg Config) (_ *PatchPlan, err error) {
+	defer e9err.Recover("plan", &err)
 	st, err := runPlanPipeline(ctx, input, cfg)
 	if err != nil {
 		return nil, err
@@ -287,19 +308,25 @@ func Apply(input []byte, p *PatchPlan) (*Result, error) {
 	return ApplyContext(context.Background(), input, p)
 }
 
-// ApplyContext is Apply with cancellation.
-func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (*Result, error) {
+// ApplyContext is Apply with cancellation. Like PlanContext it is a
+// recovery boundary: hostile plans are validated up front, and any
+// residual panic is contained and returned as ErrInternal.
+func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, err error) {
+	defer e9err.Recover("apply", &err)
 	if p == nil {
-		return nil, errors.New("e9patch: nil plan")
+		return nil, e9err.Malformed("apply", "e9patch: nil plan")
 	}
 	if p.Version != plan.Version {
-		return nil, fmt.Errorf("e9patch: unsupported plan version %d (this build understands %d)", p.Version, plan.Version)
+		return nil, e9err.Unsupported("apply", "e9patch: unsupported plan version %d (this build understands %d)", p.Version, plan.Version)
+	}
+	if p.Granularity > MaxGranularity {
+		return nil, e9err.Unsupported("apply", "e9patch: plan granularity %d exceeds the maximum %d", p.Granularity, MaxGranularity)
 	}
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	if err := p.CheckInput(input); err != nil {
-		return nil, fmt.Errorf("e9patch: %w", err)
+		return nil, err
 	}
 
 	// Work on a copy: PatchBytes mutates File.Data.
@@ -314,14 +341,14 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (*Result, err
 		bias = PIEBase
 	}
 	if bias != p.Bias {
-		return nil, fmt.Errorf("e9patch: plan load bias %#x does not match binary (%#x)", p.Bias, bias)
+		return nil, e9err.Malformed("apply", "e9patch: plan load bias %#x does not match binary (%#x)", p.Bias, bias)
 	}
 	text, textAddr, err := f.Text()
 	if err != nil {
 		return nil, err
 	}
 	if textAddr+bias != p.TextAddr || len(text) != p.TextLen {
-		return nil, fmt.Errorf("e9patch: plan text geometry %#x+%d does not match binary %#x+%d",
+		return nil, e9err.Malformed("apply", "e9patch: plan text geometry %#x+%d does not match binary %#x+%d",
 			p.TextAddr, p.TextLen, textAddr+bias, len(text))
 	}
 
@@ -338,7 +365,7 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (*Result, err
 		s := &p.Sites[i]
 		tac, ok := patch.TacticFromName(s.Tactic)
 		if !ok {
-			return nil, fmt.Errorf("e9patch: plan site %#x: unknown tactic %q", s.Addr, s.Tactic)
+			return nil, e9err.MalformedAt("apply", s.Addr, "e9patch: plan site: unknown tactic %q", s.Tactic)
 		}
 		stats.Total++
 		if tac == patch.TacticNone {
@@ -350,7 +377,7 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (*Result, err
 		for _, wr := range s.Writes {
 			o := int64(wr.Addr) - int64(p.TextAddr)
 			if o < 0 || o+int64(len(wr.Data)) > int64(len(code)) {
-				return nil, fmt.Errorf("e9patch: plan write %#x+%d outside .text", wr.Addr, len(wr.Data))
+				return nil, e9err.MalformedAt("apply", wr.Addr, "e9patch: plan write of %d bytes outside .text", len(wr.Data))
 			}
 			copy(code[o:], wr.Data)
 		}
@@ -413,6 +440,14 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	if cfg.Granularity == 0 {
 		cfg.Granularity = 1
 	}
+	if cfg.Granularity > MaxGranularity {
+		return nil, e9err.Unsupported("plan", "e9patch: granularity %d exceeds the maximum %d", cfg.Granularity, MaxGranularity)
+	}
+	lim := cfg.Limits
+	if lim.MaxInputBytes > 0 && int64(len(input)) > lim.MaxInputBytes {
+		return nil, e9err.Limit("parse", e9err.ReasonInputTooLarge,
+			"e9patch: input is %d bytes, limit is %d", len(input), lim.MaxInputBytes)
+	}
 
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
@@ -434,6 +469,10 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	if err != nil {
 		return nil, err
 	}
+	if lim.MaxTextBytes > 0 && int64(len(text)) > lim.MaxTextBytes {
+		return nil, e9err.Limit("parse", e9err.ReasonTextTooLarge,
+			"e9patch: .text is %d bytes, limit is %d", len(text), lim.MaxTextBytes)
+	}
 	if cfg.SkipPrefix > uint64(len(text)) {
 		return nil, fmt.Errorf("e9patch: SkipPrefix %d exceeds .text size %d", cfg.SkipPrefix, len(text))
 	}
@@ -450,7 +489,21 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	dres := disasm.Parallel(text[cfg.SkipPrefix:], rtTextAddr+cfg.SkipPrefix, width, cfg.Pool)
+	dctx, dcancel := phaseDeadline(ctx, lim.PhaseTimeout)
+	dres, dok := disasm.ParallelCancel(text[cfg.SkipPrefix:], rtTextAddr+cfg.SkipPrefix, width, cfg.Pool, dctx.Done())
+	if !dok {
+		deadlined := errors.Is(dctx.Err(), context.DeadlineExceeded)
+		dcancel()
+		if deadlined {
+			return nil, e9err.Limit("disasm", e9err.ReasonPhaseDeadline,
+				"e9patch: disassembly exceeded the phase deadline %s", lim.PhaseTimeout)
+		}
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return nil, e9err.Internal("disasm", "e9patch: disassembly aborted without a cancellation cause")
+	}
+	dcancel()
 
 	// Match phase: run the selector over the disassembly, sharded when
 	// the selector is registered as per-instruction pure.
@@ -458,6 +511,10 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 		return nil, err
 	}
 	selected := parallelSelect(cfg.Select, dres.Insts, width, cfg.Pool)
+	if lim.MaxPatchSites > 0 && len(selected) > lim.MaxPatchSites {
+		return nil, e9err.Limit("match", e9err.ReasonTooManySites,
+			"e9patch: selector chose %d patch sites, limit is %d", len(selected), lim.MaxPatchSites)
+	}
 	warnings := diagnoseSelection(cfg.Select, dres.Insts, selected, bias)
 
 	// Address-space model: all loaded segments are off limits
@@ -488,15 +545,29 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	}
 	popts := cfg.Patch
 	popts.Template = cfg.Template
-	popts.Cancel = ctx.Done()
 	popts.Workers = width
 	if cfg.Pool != nil {
 		popts.Pool = cfg.Pool
 	}
+	if lim.MaxTrampolineBytes > 0 {
+		popts.TrampolineBudget = lim.MaxTrampolineBytes
+	}
+	pctx, pcancel := phaseDeadline(ctx, lim.PhaseTimeout)
+	popts.Cancel = pctx.Done()
 	rw := patch.New(text, rtTextAddr, dres.Insts, space, poolHint, popts)
 	rw.PatchAll(selected)
+	deadlined := errors.Is(pctx.Err(), context.DeadlineExceeded)
+	pcancel()
+	if deadlined {
+		return nil, e9err.Limit("patch", e9err.ReasonPhaseDeadline,
+			"e9patch: patching exceeded the phase deadline %s", lim.PhaseTimeout)
+	}
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
+	}
+	if rw.LimitExceeded() {
+		return nil, e9err.Limit("patch", e9err.ReasonTrampolineBudget,
+			"e9patch: emitted trampoline code exceeds the %d-byte budget", lim.MaxTrampolineBytes)
 	}
 
 	return &planPipeline{
@@ -530,7 +601,10 @@ func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.
 	}
 	gres, err := group.Build(chunks, gran)
 	if err != nil {
-		return nil, nil, err
+		// Grouping rejects overlapping or inconsistent trampoline
+		// layouts; the plan pipeline never produces them, so reaching
+		// this from Apply means the plan itself was bad.
+		return nil, nil, e9err.Wrap(e9err.ErrMalformed, "emit", err)
 	}
 	if naive {
 		gres = ungroup(gres)
@@ -546,8 +620,10 @@ func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.
 // rewriteLegacy is the pre-split monolithic pipeline: decide and
 // materialize in one pass, straight from the rewriter's own state with
 // no plan in between. It is retained as the reference implementation
-// the Plan/Apply differential tests (make plancheck) compare against.
-func rewriteLegacy(ctx context.Context, input []byte, cfg Config) (*Result, error) {
+// the Plan/Apply differential tests (make plancheck) compare against,
+// with the same recovery boundary as the split phases.
+func rewriteLegacy(ctx context.Context, input []byte, cfg Config) (_ *Result, err error) {
+	defer e9err.Recover("rewrite", &err)
 	st, err := runPlanPipeline(ctx, input, cfg)
 	if err != nil {
 		return nil, err

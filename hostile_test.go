@@ -1,0 +1,264 @@
+package e9patch
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"e9patch/internal/e9err"
+	"e9patch/internal/elf64"
+	"e9patch/internal/workload"
+)
+
+// branchyELF builds the branchy workload kernel: a binary with enough
+// patchable jumps that rewriting it emits real writes and trampolines.
+func branchyELF(t *testing.T) []byte {
+	t.Helper()
+	prog, err := workload.BuildKernel("branchy", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.ELF
+}
+
+// classify returns which taxonomy class err falls under, or "" when it
+// matches none — the hostile-input contract is that every error leaving
+// the public API on bad input classifies as malformed, unsupported or
+// resource-limit, and never as internal.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	case errors.Is(err, ErrMalformedBinary):
+		return "malformed"
+	case errors.Is(err, ErrUnsupportedBinary):
+		return "unsupported"
+	case errors.Is(err, ErrResourceLimit):
+		return "limit"
+	}
+	return ""
+}
+
+// requireContained fails the test unless err (from rewriting input) is
+// nil or a classified input/limit error. An internal error means a
+// panic was contained by the recovery boundary or a bug was promoted —
+// either way a crasher to fix, not a hostile input rejected.
+func requireContained(t *testing.T, name string, err error) {
+	t.Helper()
+	switch classify(err) {
+	case "ok", "malformed", "unsupported", "limit":
+	case "internal":
+		var ee *Error
+		if errors.As(err, &ee) && ee.Recovered() {
+			t.Errorf("%s: panic contained but not fixed: %v\n%s", name, err, ee.Stack)
+		} else {
+			t.Errorf("%s: internal error on hostile input: %v", name, err)
+		}
+	default:
+		t.Errorf("%s: unclassified error escaped the taxonomy: %v", name, err)
+	}
+}
+
+// hostileCorpus loads every checked-in corpus binary.
+func hostileCorpus(t testing.TB) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "hostile", "*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 14 {
+		t.Fatalf("hostile corpus has %d files, want at least 14 (regenerate with `go run ./testdata/hostile/gen`)", len(paths))
+	}
+	corpus := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus[filepath.Base(p)] = data
+	}
+	return corpus
+}
+
+// TestHostileCorpus rewrites every corpus file: the valid control must
+// succeed and every hostile variant must come back with a classified
+// error — no panic escapes, no ErrInternal.
+func TestHostileCorpus(t *testing.T) {
+	for name, data := range hostileCorpus(t) {
+		_, err := Rewrite(data, Config{Select: SelectJumps})
+		requireContained(t, name, err)
+		if name == "valid.bin" && err != nil {
+			t.Errorf("valid.bin: control binary failed to rewrite: %v", err)
+		}
+	}
+}
+
+// TestHostileTruncations feeds every prefix of a valid binary through
+// the rewriter (densely over the header region, sampled beyond it).
+func TestHostileTruncations(t *testing.T) {
+	valid := hostileCorpus(t)["valid.bin"]
+	for n := 0; n < len(valid); n++ {
+		if n > 512 && n%101 != 0 {
+			continue
+		}
+		_, err := Rewrite(valid[:n], Config{Select: SelectJumps})
+		requireContained(t, "truncate:"+itoa(n), err)
+	}
+}
+
+// TestHostileHeaderBitFlips flips each bit of the ELF header and the
+// program-header table in turn. Any single-bit lie must either still
+// rewrite (benign field) or fail classified.
+func TestHostileHeaderBitFlips(t *testing.T) {
+	valid := hostileCorpus(t)["valid.bin"]
+	const region = 64 + 3*56 // ehdr + the three phdrs
+	for off := 0; off < region; off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 1 << bit
+			_, err := Rewrite(mut, Config{Select: SelectJumps})
+			requireContained(t, "flip:"+itoa(off)+"."+itoa(bit), err)
+		}
+	}
+}
+
+// TestHostilePlans covers the second untrusted input surface: patch
+// plans. Garbage, version skew and out-of-text writes must all come
+// back classified from Decode/Apply.
+func TestHostilePlans(t *testing.T) {
+	if _, err := DecodePlan([]byte("{not json")); !errors.Is(err, ErrMalformedBinary) {
+		t.Errorf("garbage plan JSON: %v, want ErrMalformedBinary", err)
+	}
+	if _, err := DecodePlan([]byte(`{"version": 9999}`)); !errors.Is(err, ErrUnsupportedBinary) {
+		t.Errorf("future plan version: %v, want ErrUnsupportedBinary", err)
+	}
+
+	bin := branchyELF(t)
+	p, err := Plan(bin, Config{Select: SelectJumps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(bin, nil); !errors.Is(err, ErrMalformedBinary) {
+		t.Errorf("nil plan: %v, want ErrMalformedBinary", err)
+	}
+	writes := 0
+	for i := range p.Sites {
+		for j := range p.Sites[i].Writes {
+			p.Sites[i].Writes[j].Addr = 0xFFFFFFFFFFFF0000 // far outside .text
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("plan recorded no writes; the branchy kernel should be patchable")
+	}
+	if _, err := Apply(bin, p); !errors.Is(err, ErrMalformedBinary) {
+		t.Errorf("out-of-text plan writes: %v, want ErrMalformedBinary", err)
+	}
+
+	tampered, err := Plan(bin, Config{Select: SelectJumps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tampered.Sites {
+		tampered.Sites[i].Tactic = "no-such-tactic"
+	}
+	if _, err := Apply(bin, tampered); !errors.Is(err, ErrMalformedBinary) {
+		t.Errorf("unknown plan tactic: %v, want ErrMalformedBinary", err)
+	}
+}
+
+// TestLibraryLimits exercises each Config.Limits bound at the library
+// layer and checks both the sentinel and the machine-readable reason.
+func TestLibraryLimits(t *testing.T) {
+	valid := hostileCorpus(t)["valid.bin"]
+	bin := branchyELF(t)
+
+	cases := []struct {
+		name   string
+		input  []byte
+		limits Limits
+		reason string
+	}{
+		{"input-too-large", valid, Limits{MaxInputBytes: 16}, e9err.ReasonInputTooLarge},
+		{"text-too-large", valid, Limits{MaxTextBytes: 4}, e9err.ReasonTextTooLarge},
+		{"too-many-sites", bin, Limits{MaxPatchSites: 1}, e9err.ReasonTooManySites},
+		{"trampoline-budget", bin, Limits{MaxTrampolineBytes: 1}, e9err.ReasonTrampolineBudget},
+		{"phase-deadline", valid, Limits{PhaseTimeout: time.Nanosecond}, e9err.ReasonPhaseDeadline},
+	}
+	for _, tc := range cases {
+		_, err := Rewrite(tc.input, Config{Select: SelectJumps, Limits: tc.limits})
+		if !errors.Is(err, ErrResourceLimit) {
+			t.Errorf("%s: error %v, want ErrResourceLimit", tc.name, err)
+			continue
+		}
+		var ee *Error
+		if !errors.As(err, &ee) || ee.Reason != tc.reason {
+			t.Errorf("%s: reason %q, want %q (err %v)", tc.name, ee.Reason, tc.reason, err)
+		}
+	}
+
+	// The same limits left at zero must not reject anything.
+	if _, err := Rewrite(valid, Config{Select: SelectJumps}); err != nil {
+		t.Errorf("no limits: %v, want success", err)
+	}
+}
+
+// FuzzRewriteHostileELF explores the malformed-ELF input space, seeded
+// with the checked-in corpus. The property under test is containment:
+// Rewrite may reject an input, but only with a classified error — an
+// escaped panic or ErrInternal is a crasher. Plain `go test` runs the
+// seed corpus; `go test -fuzz=FuzzRewriteHostileELF` explores further.
+func FuzzRewriteHostileELF(f *testing.F) {
+	for _, data := range hostileCorpus(f) {
+		f.Add(data, 1)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, gran int) {
+		if gran > MaxGranularity {
+			gran = MaxGranularity
+		}
+		_, err := Rewrite(data, Config{Select: SelectJumps, Granularity: gran})
+		requireContained(t, "fuzz", err)
+	})
+}
+
+// TestHostileLoaderBlob checks the appended-blob trailer parser against
+// a rewritten binary whose trailer bytes have been tampered with.
+func TestHostileLoaderBlob(t *testing.T) {
+	valid := hostileCorpus(t)["valid.bin"]
+	res, err := Rewrite(valid, Config{Select: SelectJumps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output
+	if _, ok := elf64.AppendedBlob(out); !ok {
+		t.Skip("rewrite appended no blob")
+	}
+	for _, off := range []int{24, 16, 8, 1} {
+		mut := append([]byte(nil), out...)
+		mut[len(mut)-off] ^= 0xFF
+		// Either the tampered trailer is rejected outright or the blob
+		// bounds still land inside the file; never a slice panic.
+		if blob, ok := elf64.AppendedBlob(mut); ok && len(blob) > len(mut) {
+			t.Fatalf("tampered trailer at -%d returned out-of-range blob", off)
+		}
+	}
+}
+
+// itoa avoids pulling strconv into the test imports for two call sites.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -24,10 +24,33 @@ type Result struct {
 // Linear decodes code (loaded at addr) from the start, instruction by
 // instruction, skipping undecodable bytes one at a time.
 func Linear(code []byte, addr uint64) Result {
-	var res Result
+	res, _ := LinearCancel(code, addr, nil)
+	return res
+}
+
+// cancelStride is how many decode steps pass between cancellation
+// polls; a power of two so the check is a mask.
+const cancelStride = 1 << 12
+
+// LinearCancel is Linear with cooperative cancellation: once cancel is
+// closed the sweep stops within a few thousand instructions and
+// reports ok=false with the partial result. A nil cancel never stops
+// early. Decoder stalls (a decoded instruction of non-positive length)
+// are treated as undecodable bytes so a hostile input can never pin
+// the sweep in place.
+func LinearCancel(code []byte, addr uint64, cancel <-chan struct{}) (res Result, ok bool) {
+	steps := 0
 	for off := 0; off < len(code); {
+		if cancel != nil && steps&(cancelStride-1) == 0 {
+			select {
+			case <-cancel:
+				return res, false
+			default:
+			}
+		}
+		steps++
 		inst, err := x86.Decode(code[off:], addr+uint64(off))
-		if err != nil {
+		if err != nil || inst.Len <= 0 {
 			res.BadBytes++
 			off++
 			continue
@@ -35,7 +58,7 @@ func Linear(code []byte, addr uint64) Result {
 		res.Insts = append(res.Insts, inst)
 		off += inst.Len
 	}
-	return res
+	return res, true
 }
 
 // SelectJumps returns the indices of all jmp/jcc instructions: the

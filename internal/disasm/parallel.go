@@ -2,6 +2,7 @@ package disasm
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"e9patch/internal/work"
 	"e9patch/internal/x86"
@@ -37,6 +38,16 @@ type shardScan struct {
 // sweep. The output is byte-identical to Linear(code, addr) for every
 // width and pool state.
 func Parallel(code []byte, addr uint64, width int, pool *work.Pool) Result {
+	res, _ := ParallelCancel(code, addr, width, pool, nil)
+	return res
+}
+
+// ParallelCancel is Parallel with cooperative cancellation (the
+// per-phase deadline hook): once cancel is closed the shard sweeps and
+// the stitch stop early and report ok=false with a partial result the
+// caller must discard. A nil cancel never stops early, and the result
+// is then byte-identical to Linear for every width.
+func ParallelCancel(code []byte, addr uint64, width int, pool *work.Pool, cancel <-chan struct{}) (Result, bool) {
 	nsh := len(code) / minShardBytes
 	if nsh > width {
 		// A few shards per worker smooths uneven decode costs without
@@ -46,18 +57,29 @@ func Parallel(code []byte, addr uint64, width int, pool *work.Pool) Result {
 		}
 	}
 	if width <= 1 || nsh <= 1 {
-		return Linear(code, addr)
+		return LinearCancel(code, addr, cancel)
 	}
 
 	shardLo := func(i int) int { return i * len(code) / nsh }
 	shards := make([]shardScan, nsh)
+	var aborted int32
 	work.ForEach(pool, width, nsh, func(i int) {
 		lo, hi := shardLo(i), shardLo(i+1)
 		sh := &shards[i]
+		steps := 0
 		for off := lo; off < hi; {
+			if cancel != nil && steps&(cancelStride-1) == 0 {
+				select {
+				case <-cancel:
+					atomic.StoreInt32(&aborted, 1)
+					return
+				default:
+				}
+			}
+			steps++
 			sh.visited = append(sh.visited, off)
 			inst, err := x86.Decode(code[off:], addr+uint64(off))
-			if err != nil {
+			if err != nil || inst.Len <= 0 {
 				sh.bad = append(sh.bad, off)
 				off++
 				continue
@@ -67,6 +89,9 @@ func Parallel(code []byte, addr uint64, width int, pool *work.Pool) Result {
 		}
 		sh.end = lastOff(lo, hi, sh)
 	})
+	if atomic.LoadInt32(&aborted) != 0 {
+		return Result{}, false
+	}
 
 	// Stitch: cursor is always the offset the sequential sweep would
 	// be at after emitting everything appended so far.
@@ -88,7 +113,7 @@ func Parallel(code []byte, addr uint64, width int, pool *work.Pool) Result {
 			}
 			// Seam mis-sync: single-step until a visited position.
 			inst, err := x86.Decode(code[cursor:], addr+uint64(cursor))
-			if err != nil {
+			if err != nil || inst.Len <= 0 {
 				res.BadBytes++
 				cursor++
 				continue
@@ -97,7 +122,7 @@ func Parallel(code []byte, addr uint64, width int, pool *work.Pool) Result {
 			cursor += inst.Len
 		}
 	}
-	return res
+	return res, true
 }
 
 // lastOff recomputes the shard's exit cursor from its final recorded

@@ -1,0 +1,107 @@
+package e9err
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestClassMatching(t *testing.T) {
+	cases := []struct {
+		err   error
+		class error
+	}{
+		{Malformed("parse", "bad magic"), ErrMalformed},
+		{MalformedAt("parse", 0x40, "phdr overrun"), ErrMalformed},
+		{Unsupported("parse", "machine %d", 40), ErrUnsupported},
+		{Limit("patch", ReasonTooManySites, "1e9 sites"), ErrResourceLimit},
+		{Internal("apply", "invariant broke"), ErrInternal},
+	}
+	all := []error{ErrMalformed, ErrUnsupported, ErrResourceLimit, ErrInternal}
+	for _, c := range cases {
+		for _, class := range all {
+			got := errors.Is(c.err, class)
+			want := class == c.class
+			if got != want {
+				t.Errorf("errors.Is(%v, %v) = %v, want %v", c.err, class, got, want)
+			}
+		}
+	}
+}
+
+func TestWrapPreservesCauseAndClass(t *testing.T) {
+	cause := errors.New("elf64: bad thing")
+	err := Wrap(ErrMalformed, "parse", cause)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatal("wrapped error lost its class")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("wrapped error lost its cause")
+	}
+	// Wrapping an already-classified error keeps the first class.
+	err2 := Wrap(ErrInternal, "plan", fmt.Errorf("outer: %w", err))
+	if !errors.Is(err2, ErrMalformed) || errors.Is(err2, ErrInternal) {
+		t.Fatal("re-wrap overrode the original classification")
+	}
+	if Wrap(ErrMalformed, "parse", nil) != nil {
+		t.Fatal("Wrap(nil) should be nil")
+	}
+}
+
+func TestErrorAsRecoversContext(t *testing.T) {
+	base := Limit("patch", ReasonTrampolineBudget, "over budget")
+	wrapped := fmt.Errorf("e9patch: %w", base)
+	var e *Error
+	if !errors.As(wrapped, &e) {
+		t.Fatal("errors.As failed")
+	}
+	if e.Phase != "patch" || e.Reason != ReasonTrampolineBudget {
+		t.Fatalf("lost context: %+v", e)
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("plan", &err)
+		panic("window computation out of sync")
+	}
+	err := f()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered panic not ErrInternal: %v", err)
+	}
+	var e *Error
+	if !errors.As(err, &e) || !e.Recovered() || len(e.Stack) == 0 {
+		t.Fatalf("recovered panic lost its stack: %+v", e)
+	}
+	if !strings.Contains(err.Error(), "window computation") {
+		t.Fatalf("panic message lost: %v", err)
+	}
+}
+
+func TestFromPanicKeepsTypedErrors(t *testing.T) {
+	typed := Malformed("parse", "thrown across frames")
+	e := FromPanic("plan", typed)
+	if !errors.Is(e, ErrMalformed) {
+		t.Fatal("typed panic value lost its class")
+	}
+	if !e.Recovered() {
+		t.Fatal("typed panic value lost the stack")
+	}
+	// Panicking with a plain error keeps it as the cause.
+	cause := errors.New("index out of range")
+	e = FromPanic("apply", cause)
+	if !errors.Is(e, ErrInternal) || !errors.Is(e, cause) {
+		t.Fatalf("plain error panic misclassified: %v", e)
+	}
+}
+
+func TestErrorStringShape(t *testing.T) {
+	err := MalformedAt("parse", 0x40, "program headers overrun file")
+	s := err.Error()
+	for _, want := range []string{"parse", "malformed input", "program headers", "0x40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q, missing %q", s, want)
+		}
+	}
+}

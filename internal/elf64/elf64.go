@@ -11,8 +11,9 @@ package elf64
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
+
+	"e9patch/internal/e9err"
 )
 
 // ELF constants (the subset relevant to x86-64 Linux binaries).
@@ -60,11 +61,14 @@ const (
 	shdrSize = 64
 )
 
-// Errors returned by the parser.
+// Errors returned by the parser. All three classify under the e9err
+// taxonomy (ErrNotELF and ErrTruncated as malformed input,
+// ErrUnsupported as unsupported input), so errors.Is works against
+// both the local sentinel and the class.
 var (
-	ErrNotELF      = errors.New("elf64: bad magic")
-	ErrTruncated   = errors.New("elf64: truncated file")
-	ErrUnsupported = errors.New("elf64: unsupported ELF variant")
+	ErrNotELF      error = e9err.Malformed("parse", "elf64: bad magic")
+	ErrTruncated   error = e9err.Malformed("parse", "elf64: truncated file")
+	ErrUnsupported error = e9err.Unsupported("parse", "elf64: unsupported ELF variant")
 )
 
 // Header mirrors the ELF64 file header.
@@ -149,9 +153,10 @@ func Parse(data []byte) (*File, error) {
 		return nil, fmt.Errorf("%w: machine %d", ErrUnsupported, h.Machine)
 	}
 
-	// Program headers.
-	end := h.PhOff + uint64(h.PhNum)*phdrSize
-	if end > uint64(len(data)) {
+	// Program headers. The bound check must be overflow-safe: a hostile
+	// PhOff near 2^64 would wrap PhOff+PhNum*56 back below len(data) and
+	// send the loop indexing past the slice.
+	if h.PhNum > 0 && !spanInside(h.PhOff, uint64(h.PhNum)*phdrSize, uint64(len(data))) {
 		return nil, fmt.Errorf("%w: program headers", ErrTruncated)
 	}
 	for i := 0; i < int(h.PhNum); i++ {
@@ -170,8 +175,7 @@ func Parse(data []byte) (*File, error) {
 
 	// Section headers (optional: stripped binaries may omit them).
 	if h.ShOff != 0 && h.ShNum > 0 {
-		end := h.ShOff + uint64(h.ShNum)*shdrSize
-		if end > uint64(len(data)) {
+		if !spanInside(h.ShOff, uint64(h.ShNum)*shdrSize, uint64(len(data))) {
 			return nil, fmt.Errorf("%w: section headers", ErrTruncated)
 		}
 		raw := make([]Section, h.ShNum)
@@ -193,7 +197,7 @@ func Parse(data []byte) (*File, error) {
 		// Resolve names from the section-name string table.
 		if int(h.ShStrNdx) < len(raw) {
 			str := raw[h.ShStrNdx]
-			if str.Off+str.Size <= uint64(len(data)) {
+			if spanInside(str.Off, str.Size, uint64(len(data))) {
 				tab := data[str.Off : str.Off+str.Size]
 				for i := range raw {
 					raw[i].Name = cstr(tab, raw[i].NameOff)
@@ -202,7 +206,37 @@ func Parse(data []byte) (*File, error) {
 		}
 		f.Sections = raw
 	}
+
+	// Loadable segments must be internally consistent: file-backed bytes
+	// inside the file, memory size covering the file size, and no
+	// address wrap-around. Downstream phases (address-space reservation,
+	// patching, the loader) all assume these invariants.
+	for i := range f.Progs {
+		p := &f.Progs[i]
+		if p.Type != PTLoad {
+			continue
+		}
+		if p.Filesz > 0 && !spanInside(p.Off, p.Filesz, uint64(len(data))) {
+			return nil, fmt.Errorf("%w: PT_LOAD[%d] file bytes [%#x,+%#x) overrun file",
+				ErrTruncated, i, p.Off, p.Filesz)
+		}
+		if p.Memsz < p.Filesz {
+			return nil, e9err.MalformedAt("parse", p.Vaddr,
+				"elf64: PT_LOAD[%d] memsz %#x < filesz %#x", i, p.Memsz, p.Filesz)
+		}
+		if p.Vaddr+p.Memsz < p.Vaddr {
+			return nil, e9err.MalformedAt("parse", p.Vaddr,
+				"elf64: PT_LOAD[%d] wraps the address space (memsz %#x)", i, p.Memsz)
+		}
+	}
 	return f, nil
+}
+
+// spanInside reports whether [off, off+size) lies inside [0, limit)
+// without overflowing: the form off <= limit && size <= limit-off is
+// safe for any uint64 inputs, unlike off+size <= limit.
+func spanInside(off, size, limit uint64) bool {
+	return off <= limit && size <= limit-off
 }
 
 func cstr(tab []byte, off uint32) string {
@@ -230,10 +264,10 @@ func (f *File) SectionByName(name string) (*Section, bool) {
 func (f *File) Text() (data []byte, addr uint64, err error) {
 	s, ok := f.SectionByName(".text")
 	if !ok {
-		return nil, 0, errors.New("elf64: no .text section")
+		return nil, 0, e9err.Unsupported("parse", "elf64: no .text section")
 	}
-	if s.Off+s.Size > uint64(len(f.Data)) {
-		return nil, 0, ErrTruncated
+	if !spanInside(s.Off, s.Size, uint64(len(f.Data))) {
+		return nil, 0, fmt.Errorf("%w: .text [%#x,+%#x) overruns file", ErrTruncated, s.Off, s.Size)
 	}
 	return f.Data[s.Off : s.Off+s.Size], s.Addr, nil
 }
@@ -248,7 +282,9 @@ func (f *File) VaddrToOff(vaddr uint64) (uint64, bool) {
 		if p.Type != PTLoad {
 			continue
 		}
-		if vaddr >= p.Vaddr && vaddr < p.Vaddr+p.Filesz {
+		// vaddr-p.Vaddr < p.Filesz is the overflow-safe form of the
+		// half-open range test (Parse validated Off+Filesz already).
+		if vaddr >= p.Vaddr && vaddr-p.Vaddr < p.Filesz {
 			return p.Off + (vaddr - p.Vaddr), true
 		}
 	}
@@ -260,10 +296,10 @@ func (f *File) VaddrToOff(vaddr uint64) (uint64, bool) {
 func (f *File) PatchBytes(vaddr uint64, b []byte) error {
 	off, ok := f.VaddrToOff(vaddr)
 	if !ok {
-		return fmt.Errorf("elf64: vaddr %#x not mapped from file", vaddr)
+		return e9err.MalformedAt("emit", vaddr, "elf64: vaddr not mapped from file")
 	}
-	if off+uint64(len(b)) > uint64(len(f.Data)) {
-		return fmt.Errorf("elf64: patch at %#x overruns file", vaddr)
+	if !spanInside(off, uint64(len(b)), uint64(len(f.Data))) {
+		return e9err.MalformedAt("emit", vaddr, "elf64: patch of %d bytes overruns file", len(b))
 	}
 	copy(f.Data[off:], b)
 	return nil

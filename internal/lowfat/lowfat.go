@@ -171,7 +171,10 @@ func (c CheckTemplate) Emit(inst *x86.Inst, at uint64) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("lowfat: instruction at %#x has no memory operand", inst.Addr)
 	}
-	s := scratch3(inst)
+	s, ok := scratch3(inst)
+	if !ok {
+		return nil, fmt.Errorf("lowfat: no scratch registers free for % x", inst.Bytes)
+	}
 	a := x86.NewAsm(at)
 	a.PushReg(s[0])
 	a.PushReg(s[1])
@@ -221,8 +224,10 @@ func appendDisplaced(a *x86.Asm, inst *x86.Inst) error {
 	return a.Err()
 }
 
-// scratch3 picks three registers not used by the memory operand.
-func scratch3(inst *x86.Inst) [3]x86.Reg {
+// scratch3 picks three registers not used by the memory operand; ok is
+// false when the pool cannot supply three, which the template turns
+// into an emit error (the tactic fails for that one location).
+func scratch3(inst *x86.Inst) ([3]x86.Reg, bool) {
 	pool := []x86.Reg{x86.RAX, x86.RCX, x86.RDX, x86.RSI, x86.RDI, x86.R8, x86.R9, x86.R10, x86.R11}
 	var out [3]x86.Reg
 	n := 0
@@ -233,10 +238,10 @@ func scratch3(inst *x86.Inst) [3]x86.Reg {
 		out[n] = r
 		n++
 		if n == 3 {
-			return out
+			return out, true
 		}
 	}
-	panic("lowfat: scratch pool exhausted")
+	return out, false
 }
 
 // ReserveVA returns the extra ranges a hardened rewrite must keep free.

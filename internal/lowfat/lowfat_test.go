@@ -192,7 +192,10 @@ func TestCheckScratchAvoidsOperands(t *testing.T) {
 	a.MovMemReg64(x86.MIdx(x86.RAX, x86.RCX, 8, 0), x86.RDX)
 	code := a.MustFinish()
 	inst, _ := x86.Decode(code, 0)
-	s := scratch3(&inst)
+	s, ok := scratch3(&inst)
+	if !ok {
+		t.Fatal("scratch3 failed on a two-register operand")
+	}
 	for _, r := range s {
 		if r == x86.RAX || r == x86.RCX {
 			t.Errorf("scratch %v collides with operand", r)

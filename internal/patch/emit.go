@@ -52,6 +52,12 @@ func (r *Rewriter) writeCode(addr uint64, b []byte) {
 // consumes.
 func (r *Rewriter) addTrampoline(ts ...Trampoline) {
 	r.trampolines = append(r.trampolines, ts...)
+	for i := range ts {
+		r.trampBytes += int64(len(ts[i].Code))
+	}
+	if r.opts.TrampolineBudget > 0 && r.trampBytes > r.opts.TrampolineBudget {
+		r.limited = true
+	}
 	if r.cur != nil {
 		for _, t := range ts {
 			r.cur.Trampolines = append(r.cur.Trampolines, plan.Trampoline{

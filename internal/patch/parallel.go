@@ -182,6 +182,9 @@ func (r *Rewriter) child(space *va.Space, ar *arena, hint uint64, speculating bo
 // polling for cancellation like the sequential path.
 func (r *Rewriter) runRegion(order []int) {
 	for i, idx := range order {
+		if r.limited {
+			return // trampoline budget exhausted; result is discarded
+		}
 		if r.opts.Cancel != nil && i&0xFF == 0 {
 			select {
 			case <-r.opts.Cancel:
@@ -301,6 +304,10 @@ func (r *Rewriter) patchRegions(regions [][]int) {
 	// plan fragments alike — in patch (descending) order, so the
 	// recorded plan is identical to a sequential run's.
 	for _, sub := range subs {
+		r.trampBytes += sub.trampBytes
+		if sub.limited || (r.opts.TrampolineBudget > 0 && r.trampBytes > r.opts.TrampolineBudget) {
+			r.limited = true
+		}
 		r.trampolines = append(r.trampolines, sub.trampolines...)
 		r.results = append(r.results, sub.results...)
 		r.sites = append(r.sites, sub.sites...)

@@ -111,6 +111,12 @@ type Options struct {
 	// decomposition, so changing it changes the output; Workers does
 	// not.
 	MinRegionSize int
+	// TrampolineBudget, when > 0, bounds the total bytes of emitted
+	// trampoline code. Once exceeded the rewriter stops patching and
+	// reports LimitExceeded; the caller fails the rewrite with a typed
+	// resource-limit error instead of letting a hostile selection
+	// allocate without bound.
+	TrampolineBudget int64
 }
 
 // Trampoline is one emitted trampoline.
@@ -188,6 +194,11 @@ type Rewriter struct {
 	// hint is the bump cursor for unconstrained allocations.
 	hint uint64
 
+	// trampBytes sums emitted trampoline code bytes; limited flips once
+	// Options.TrampolineBudget is exceeded and stops further patching.
+	trampBytes int64
+	limited    bool
+
 	// Region-parallel state (parallel.go). arena, when non-nil, serves
 	// unconstrained allocations from a pre-reserved range; speculating
 	// journals space operations for deterministic replay; redone counts
@@ -250,6 +261,11 @@ func (r *Rewriter) Sites() []plan.Site { return r.sites }
 
 // Stats returns aggregate patching statistics.
 func (r *Rewriter) Stats() Stats { return r.stats }
+
+// LimitExceeded reports whether patching stopped because the
+// trampoline byte budget ran out; the partial result must be
+// discarded.
+func (r *Rewriter) LimitExceeded() bool { return r.limited }
 
 // off converts a text virtual address to a byte offset.
 func (r *Rewriter) off(addr uint64) int { return int(addr - r.textAddr) }

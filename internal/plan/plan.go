@@ -22,6 +22,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+
+	"e9patch/internal/e9err"
 )
 
 // Version is the plan schema version understood by this build. Decode
@@ -138,14 +140,16 @@ func (p *PatchPlan) Encode() ([]byte, error) {
 	return append(j, '\n'), nil
 }
 
-// Decode parses an encoded plan and checks the schema version.
+// Decode parses an encoded plan and checks the schema version. A
+// syntactically broken plan is a malformed input; a well-formed plan
+// with the wrong schema version is an unsupported one.
 func Decode(data []byte) (*PatchPlan, error) {
 	var p PatchPlan
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("plan: decode: %w", err)
+		return nil, e9err.Wrap(e9err.ErrMalformed, "plan", fmt.Errorf("plan: decode: %w", err))
 	}
 	if p.Version != Version {
-		return nil, fmt.Errorf("plan: unsupported version %d (this build understands %d)", p.Version, Version)
+		return nil, e9err.Unsupported("plan", fmt.Sprintf("plan: unsupported version %d (this build understands %d)", p.Version, Version))
 	}
 	return &p, nil
 }
@@ -167,7 +171,7 @@ func (p *PatchPlan) CheckInput(input []byte) error {
 		return nil
 	}
 	if got := InputDigest(input); got != p.InputSHA256 {
-		return fmt.Errorf("plan: input mismatch: plan bound to sha256 %s, input is %s", p.InputSHA256, got)
+		return e9err.Malformed("apply", fmt.Sprintf("plan: input mismatch: plan bound to sha256 %s, input is %s", p.InputSHA256, got))
 	}
 	return nil
 }

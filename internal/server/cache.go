@@ -81,9 +81,10 @@ func (c *lruCache[E]) get(key string) (E, bool) {
 
 // put inserts (or refreshes) an entry, evicting least-recently-used
 // entries until the byte budget holds. Entries larger than the whole
-// budget are not cached.
+// budget are not cached, and a zero or negative budget disables the
+// cache entirely.
 func (c *lruCache[E]) put(key string, e E) {
-	if e.size() > c.budget {
+	if c.budget <= 0 || e.size() > c.budget {
 		return
 	}
 	c.mu.Lock()

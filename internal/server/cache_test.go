@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func pe(n int) *planEntry { return &planEntry{data: make([]byte, n)} }
+
+// TestCacheDegenerateBudget: a zero or negative budget disables the
+// cache instead of corrupting its accounting.
+func TestCacheDegenerateBudget(t *testing.T) {
+	for _, budget := range []int64{0, -1} {
+		c := newLRUCache[*planEntry](budget)
+		c.put("k", pe(10))
+		c.put("z", pe(0)) // zero-sized entry must not slip past a zero budget
+		if _, ok := c.get("k"); ok {
+			t.Fatalf("budget %d: entry was cached", budget)
+		}
+		if entries, bytes, evictions := c.stats(); entries != 0 || bytes != 0 || evictions != 0 {
+			t.Fatalf("budget %d: stats %d/%d/%d, want all zero", budget, entries, bytes, evictions)
+		}
+	}
+}
+
+// TestCacheRefreshToLarger: refreshing a key with a bigger entry must
+// charge the difference, not double-count, and still evict correctly.
+func TestCacheRefreshToLarger(t *testing.T) {
+	c := newLRUCache[*planEntry](100)
+	c.put("a", pe(10))
+	c.put("b", pe(20))
+	c.put("a", pe(60)) // refresh: 10 -> 60, total 80
+	if _, bytes, _ := c.stats(); bytes != 80 {
+		t.Fatalf("after refresh: used %d, want 80", bytes)
+	}
+	c.put("c", pe(30)) // 110 > 100: evicts LRU ("b")
+	entries, bytes, evictions := c.stats()
+	if entries != 2 || bytes != 90 || evictions != 1 {
+		t.Fatalf("after eviction: %d entries / %d bytes / %d evictions, want 2/90/1", entries, bytes, evictions)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("refreshed entry a was evicted")
+	}
+}
+
+// TestCacheEvictionCounter: the counter tracks each displaced entry.
+func TestCacheEvictionCounter(t *testing.T) {
+	c := newLRUCache[*planEntry](10)
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		c.put(k, pe(5))
+	}
+	entries, bytes, evictions := c.stats()
+	if entries != 2 || bytes != 10 || evictions != 3 {
+		t.Fatalf("stats %d/%d/%d, want 2 entries / 10 bytes / 3 evictions", entries, bytes, evictions)
+	}
+}
+
+// TestCacheRandomizedInvariants hammers put/get with random keys and
+// sizes and checks the accounting invariants after every operation:
+// used never negative, never over budget, and always equal to the sum
+// of the resident entries' sizes.
+func TestCacheRandomizedInvariants(t *testing.T) {
+	const budget = 1 << 12
+	rng := rand.New(rand.NewSource(1))
+	c := newLRUCache[*planEntry](budget)
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(32))
+		if rng.Intn(3) == 0 {
+			c.get(key)
+		} else {
+			c.put(key, pe(rng.Intn(600)))
+		}
+
+		c.mu.Lock()
+		var sum int64
+		n := 0
+		for el := c.ll.Front(); el != nil; el = el.Next() {
+			sum += el.Value.(*lruItem[*planEntry]).val.size()
+			n++
+		}
+		used, entries := c.used, len(c.items)
+		c.mu.Unlock()
+
+		if used < 0 {
+			t.Fatalf("op %d: used went negative: %d", i, used)
+		}
+		if used > budget {
+			t.Fatalf("op %d: used %d exceeds budget %d", i, used, budget)
+		}
+		if used != sum || entries != n {
+			t.Fatalf("op %d: accounting drift: used=%d sum=%d entries=%d list=%d", i, used, sum, entries, n)
+		}
+	}
+}

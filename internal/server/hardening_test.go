@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/x86"
+)
+
+// postBin POSTs bin to url and returns the status code and body.
+func postBin(t *testing.T, url string, bin []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestWorkerSurvivesPanickingRewrite kills a job with a deliberate
+// panic and verifies the containment contract: the request answers 500
+// with a generic body (no panic detail leaked), panic_recovered_total
+// increments, and the same worker then serves the next request.
+func TestWorkerSurvivesPanickingRewrite(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueLen: 8, Logf: t.Logf})
+	defer srv.Close()
+	var calls atomic.Int32
+	srv.rewrite = func(ctx context.Context, bin []byte, spec *Spec) (*e9patch.Result, error) {
+		if calls.Add(1) == 1 {
+			panic("deliberate test panic: " + spec.Match)
+		}
+		return &e9patch.Result{Output: []byte("patched")}, nil
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/rewrite?match=jcc"
+
+	status, body := postBin(t, url, []byte("bin"))
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking job: status %d, want 500 (body %q)", status, body)
+	}
+	if strings.Contains(body, "deliberate test panic") {
+		t.Fatalf("500 body leaks internal detail: %q", body)
+	}
+	if got := metricValue(t, srv.Handler(), "e9served_panic_recovered_total"); got != 1 {
+		t.Fatalf("panic_recovered_total = %g, want 1", got)
+	}
+
+	status, body = postBin(t, url, []byte("bin"))
+	if status != http.StatusOK || body != "patched" {
+		t.Fatalf("request after panic: status %d body %q, want 200 %q", status, body, "patched")
+	}
+}
+
+// TestPanickingSelectorContained drives the real pipeline with a
+// selector that panics: the library's recovery boundary converts it to
+// a classified internal error, the server maps it to a generic 500,
+// and the service keeps serving rewrites afterwards.
+func TestPanickingSelectorContained(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueLen: 8, Logf: t.Logf})
+	defer srv.Close()
+	var calls atomic.Int32
+	srv.rewrite = func(ctx context.Context, bin []byte, spec *Spec) (*e9patch.Result, error) {
+		sel := e9patch.SelectJumps
+		if calls.Add(1) == 1 {
+			sel = func(insts []x86.Inst) []int { panic("selector boom") }
+		}
+		return e9patch.RewriteContext(ctx, bin, e9patch.Config{Select: sel})
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/rewrite?match=jcc"
+	bin := kernelELF(t)
+
+	status, body := postBin(t, url, bin)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking selector: status %d, want 500 (body %q)", status, body)
+	}
+	if strings.Contains(body, "selector boom") {
+		t.Fatalf("500 body leaks internal detail: %q", body)
+	}
+	if got := metricValue(t, srv.Handler(), "e9served_panic_recovered_total"); got != 1 {
+		t.Fatalf("panic_recovered_total = %g, want 1", got)
+	}
+
+	if status, body := postBin(t, url, bin); status != http.StatusOK {
+		t.Fatalf("request after contained panic: status %d (body %q), want 200", status, body)
+	}
+}
+
+// TestLimitRejections maps resource-limit violations to their HTTP
+// statuses and per-reason rejection metrics.
+func TestLimitRejections(t *testing.T) {
+	bin := kernelELF(t)
+
+	srv := New(Config{Workers: 1, QueueLen: 8, Logf: t.Logf,
+		Limits: e9patch.Limits{MaxTextBytes: 16}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, body := postBin(t, ts.URL+"/v1/rewrite?match=jcc", bin)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("text over limit: status %d (body %q), want 413", status, body)
+	}
+	if got := metricValue(t, srv.Handler(), `e9served_rejected_total{reason="text-too-large"}`); got != 1 {
+		t.Fatalf("rejected_total{text-too-large} = %g, want 1", got)
+	}
+
+	srv2 := New(Config{Workers: 1, QueueLen: 8, Logf: t.Logf,
+		Limits: e9patch.Limits{MaxPatchSites: 1}})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	status, body = postBin(t, ts2.URL+"/v1/rewrite?match=jcc", bin)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("sites over limit: status %d (body %q), want 422", status, body)
+	}
+	if got := metricValue(t, srv2.Handler(), `e9served_rejected_total{reason="too-many-sites"}`); got != 1 {
+		t.Fatalf("rejected_total{too-many-sites} = %g, want 1", got)
+	}
+}
+
+// TestGranularityClamped rejects the client-controlled block-size
+// parameter outside its sane range before any allocation happens.
+func TestGranularityClamped(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueLen: 8, Logf: t.Logf})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, g := range []string{"0", "-2", "1000000"} {
+		status, body := postBin(t, ts.URL+"/v1/rewrite?match=jcc&granularity="+g, []byte("x"))
+		if status != http.StatusBadRequest {
+			t.Errorf("granularity=%s: status %d (body %q), want 400", g, status, body)
+		}
+	}
+	status, _ := postBin(t, ts.URL+"/v1/rewrite?match=jcc&granularity=-1", kernelELF(t))
+	if status != http.StatusOK {
+		t.Errorf("granularity=-1 (grouping disabled): status %d, want 200", status)
+	}
+}
+
+// TestRetryAfterFromQueueDepth checks the backpressure estimate: queue
+// depth times the rolling mean rewrite duration spread over the
+// workers, clamped to [1, 30] seconds.
+func TestRetryAfterFromQueueDepth(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueLen: 8, Logf: t.Logf})
+	defer srv.Close()
+
+	if got := srv.retryAfter(); got != "1" {
+		t.Fatalf("no samples yet: Retry-After %q, want \"1\"", got)
+	}
+	srv.observeRewrite(4 * time.Second)      // first sample seeds the mean
+	if got := srv.retryAfter(); got != "2" { // ceil(4*1/2)
+		t.Fatalf("mean 4s, empty queue, 2 workers: Retry-After %q, want \"2\"", got)
+	}
+	srv.observeRewrite(4 * time.Second) // EWMA of equal samples is stable
+	if got := srv.retryAfter(); got != "2" {
+		t.Fatalf("stable mean: Retry-After %q, want \"2\"", got)
+	}
+	srv.durMu.Lock()
+	srv.meanRewriteSec = 1000 // pathological backlog clamps at the cap
+	srv.durMu.Unlock()
+	if got := srv.retryAfter(); got != "30" {
+		t.Fatalf("huge mean: Retry-After %q, want \"30\"", got)
+	}
+}

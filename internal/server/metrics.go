@@ -23,6 +23,8 @@ type Metrics struct {
 	planMiss  uint64            // plan-cache misses
 	coalesced uint64            // requests that shared another request's flight
 	queueFull uint64            // submissions rejected by backpressure
+	panics    uint64            // panics contained by a recovery boundary
+	rejected  map[string]uint64 // resource-limit rejections by reason
 	inflight  int64             // requests currently being handled
 
 	buckets []uint64 // len(latencyBuckets)+1, last slot is +Inf
@@ -34,6 +36,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[string]uint64),
+		rejected: make(map[string]uint64),
 		buckets:  make([]uint64, len(latencyBuckets)+1),
 	}
 }
@@ -59,6 +62,18 @@ func (m *Metrics) IncPlanHit()   { m.inc(&m.planHits) }
 func (m *Metrics) IncPlanMiss()  { m.inc(&m.planMiss) }
 func (m *Metrics) IncCoalesced() { m.inc(&m.coalesced) }
 func (m *Metrics) IncQueueFull() { m.inc(&m.queueFull) }
+
+// IncPanicRecovered counts one panic contained by a recovery boundary
+// (worker-pool job or library pipeline) instead of killing the process.
+func (m *Metrics) IncPanicRecovered() { m.inc(&m.panics) }
+
+// IncRejected counts one request rejected by a resource limit, by
+// machine-readable reason (the e9err.Reason* constants).
+func (m *Metrics) IncRejected(reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
 
 func (m *Metrics) inc(p *uint64) {
 	m.mu.Lock()
@@ -127,6 +142,18 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	counter("e9served_plan_cache_evictions_total", "Plan-cache evictions.", g.PlanCacheEvictions)
 	counter("e9served_coalesced_total", "Requests coalesced onto another request's rewrite.", m.coalesced)
 	counter("e9served_queue_full_total", "Requests rejected because the work queue was full.", m.queueFull)
+	counter("e9served_panic_recovered_total", "Panics contained by a recovery boundary.", m.panics)
+
+	fmt.Fprintf(w, "# HELP e9served_rejected_total Requests rejected by a resource limit, by reason.\n")
+	fmt.Fprintf(w, "# TYPE e9served_rejected_total counter\n")
+	reasons := make([]string, 0, len(m.rejected))
+	for reason := range m.rejected {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Fprintf(w, "e9served_rejected_total{reason=%q} %d\n", reason, m.rejected[reason])
+	}
 
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)

@@ -17,6 +17,11 @@ type pool struct {
 	jobs chan func()
 	wg   sync.WaitGroup
 
+	// onPanic, when non-nil, observes panic values recovered from jobs.
+	// The recovery itself is unconditional: a panicking job must never
+	// take its worker goroutine (and with it the whole process) down.
+	onPanic func(v any)
+
 	mu     sync.RWMutex
 	closed bool
 }
@@ -29,11 +34,22 @@ func newPool(workers, queueLen int) *pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
-				job()
+				p.run(job)
 			}
 		}()
 	}
 	return p
+}
+
+// run executes one job behind a recovery boundary, so the worker
+// survives jobs that panic and keeps draining the queue.
+func (p *pool) run(job func()) {
+	defer func() {
+		if v := recover(); v != nil && p.onPanic != nil {
+			p.onPanic(v)
+		}
+	}()
+	job()
 }
 
 // trySubmit enqueues fn without blocking. It returns errQueueFull when

@@ -24,12 +24,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"e9patch"
+	"e9patch/internal/e9err"
 	"e9patch/internal/patch"
 )
 
@@ -52,6 +57,16 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds the request body (default 64 MiB).
 	MaxBodyBytes int64
+	// Limits bounds each rewrite's resource consumption (text size,
+	// patch sites, trampoline bytes, per-phase deadlines); violations
+	// map to 413/422/504 with per-reason rejection metrics. The zero
+	// value disables the per-rewrite bounds (MaxBodyBytes still caps
+	// the upload).
+	Limits e9patch.Limits
+	// Logf, when non-nil, receives internal-failure details that are
+	// deliberately kept out of 500 response bodies (default: the
+	// standard library logger).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -92,6 +110,12 @@ type Server struct {
 	rewrite  RewriteFunc
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// durMu guards meanRewriteSec, an exponentially weighted rolling
+	// mean of rewrite wall time used to derive Retry-After under
+	// backpressure (0 until the first completed rewrite).
+	durMu          sync.Mutex
+	meanRewriteSec float64
 
 	// shards bounds intra-rewrite shard helpers across ALL concurrent
 	// rewrites: request-level workers and per-request parallel phases
@@ -113,6 +137,14 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		shards:  e9patch.NewPool(cfg.Workers),
 	}
+	// Last-resort containment: a panic that escapes a job closure (i.e.
+	// server code outside the per-job recovery below) must not take the
+	// worker down. Coalesced waiters of such a job time out rather than
+	// hang forever; the per-job boundary exists so this path stays cold.
+	s.pool.onPanic = func(v any) {
+		s.metrics.IncPanicRecovered()
+		s.cfg.Logf("e9served: recovered worker panic: %v", v)
+	}
 	s.rewrite = func(ctx context.Context, binary []byte, spec *Spec) (*e9patch.Result, error) {
 		rcfg, err := spec.Config()
 		if err != nil {
@@ -122,6 +154,7 @@ func New(cfg Config) *Server {
 			rcfg.Parallelism = s.cfg.Workers
 		}
 		rcfg.Pool = s.shards
+		rcfg.Limits = s.cfg.Limits
 		// Plan, bank the plan in the second cache tier, then apply. The
 		// plan costs kilobytes where the result costs the whole output
 		// binary, so it survives long after the result entry is evicted
@@ -307,7 +340,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				s.metrics.IncRewrite()
-				res, err := s.rewrite(jobCtx, body, spec)
+				jobStart := time.Now()
+				res, err := s.runRewrite(jobCtx, body, spec)
+				s.observeRewrite(time.Since(jobStart))
 				if err != nil {
 					finish(nil, err)
 					return
@@ -332,16 +367,96 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		}
 		s.serve(w, entry, status)
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		fail(http.StatusTooManyRequests, "work queue full; retry later")
 	case errors.Is(err, context.DeadlineExceeded):
 		fail(http.StatusGatewayTimeout,
 			fmt.Sprintf("rewrite exceeded the %s budget", s.cfg.Timeout))
 	case errors.Is(err, context.Canceled):
 		code = "499" // our own client gave up; nothing to write
+	case errors.Is(err, e9patch.ErrResourceLimit):
+		reason := "unknown"
+		var ee *e9patch.Error
+		if errors.As(err, &ee) && ee.Reason != "" {
+			reason = ee.Reason
+		}
+		s.metrics.IncRejected(reason)
+		switch reason {
+		case e9err.ReasonInputTooLarge, e9err.ReasonTextTooLarge:
+			fail(http.StatusRequestEntityTooLarge, err.Error())
+		case e9err.ReasonPhaseDeadline:
+			fail(http.StatusGatewayTimeout, err.Error())
+		default:
+			fail(http.StatusUnprocessableEntity, err.Error())
+		}
+	case errors.Is(err, e9patch.ErrInternal):
+		// Our bug, not the client's: keep the stack and detail in the
+		// log, out of the response body.
+		s.cfg.Logf("e9served: internal rewrite failure: %v", err)
+		fail(http.StatusInternalServerError, "internal error")
 	default:
+		// Everything else the pipeline classifies as the client's input:
+		// malformed or unsupported binaries, plans and specs.
 		fail(http.StatusUnprocessableEntity, err.Error())
 	}
+}
+
+// runRewrite executes the configured rewrite function behind the
+// per-job recovery boundary: a panic in the rewrite path (including
+// test-injected RewriteFuncs that bypass the library's own boundaries)
+// becomes an ErrInternal result that is routed to finish like any other
+// failure, so coalesced waiters are released instead of timing out.
+// Panics already contained by the library surface here as classified
+// errors with a recorded stack; both shapes count toward
+// panic_recovered_total.
+func (s *Server) runRewrite(ctx context.Context, body []byte, spec *Spec) (res *e9patch.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = e9err.FromPanic("server", v)
+		}
+		var ee *e9patch.Error
+		if errors.As(err, &ee) && ee.Recovered() {
+			s.metrics.IncPanicRecovered()
+			s.cfg.Logf("e9served: panic contained during rewrite: %v\n%s", ee, ee.Stack)
+		}
+	}()
+	return s.rewrite(ctx, body, spec)
+}
+
+// observeRewrite feeds one rewrite's wall time into the rolling mean
+// behind Retry-After (EWMA, 20% weight on the newest sample).
+func (s *Server) observeRewrite(d time.Duration) {
+	s.durMu.Lock()
+	sec := d.Seconds()
+	if s.meanRewriteSec == 0 {
+		s.meanRewriteSec = sec
+	} else {
+		s.meanRewriteSec = 0.8*s.meanRewriteSec + 0.2*sec
+	}
+	s.durMu.Unlock()
+}
+
+// retryAfter estimates when the queue will have room again: the current
+// backlog plus the rejected job itself, spread across the workers, each
+// slot costing the rolling mean rewrite duration. Clamped to [1, 30]
+// seconds — long enough to matter, short enough that clients retry
+// while the estimate is still meaningful. Before the first completed
+// rewrite there is no estimate and the floor is used.
+func (s *Server) retryAfter() string {
+	s.durMu.Lock()
+	mean := s.meanRewriteSec
+	s.durMu.Unlock()
+	if mean <= 0 {
+		return "1"
+	}
+	est := math.Ceil(mean * float64(s.pool.depth()+1) / float64(s.cfg.Workers))
+	if est < 1 {
+		est = 1
+	}
+	if est > 30 {
+		est = 30
+	}
+	return strconv.Itoa(int(est))
 }
 
 // serve writes a completed rewrite: stats and cache status in headers,

@@ -75,6 +75,12 @@ func parseSpec(r *http.Request) (*Spec, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parameter granularity: %w", err)
 		}
+		// Granularity sizes block allocations in the emit phase, so it
+		// must not be client-controlled beyond a sane range: -1 disables
+		// grouping, 1..MaxGranularity sets the block size in pages.
+		if g == 0 || g < -1 || g > e9patch.MaxGranularity {
+			return nil, fmt.Errorf("parameter granularity: want -1 or 1..%d, got %d", e9patch.MaxGranularity, g)
+		}
 		s.Granularity = g
 	}
 	if v := get("skip"); v != "" {

@@ -61,7 +61,11 @@ func (c Counter) Size(inst *x86.Inst) (int, error) { return sizeOf(c, inst) }
 func (c Counter) Emit(inst *x86.Inst, at uint64) ([]byte, error) {
 	s := c.Scratch
 	if s == x86.NoReg || s == 0 {
-		s = pickScratch(inst, 1)[0]
+		regs, ok := pickScratch(inst, 1)
+		if !ok {
+			return nil, fmt.Errorf("trampoline: no scratch register free for % x", inst.Bytes)
+		}
+		s = regs[0]
 	}
 	a := x86.NewAsm(at)
 	a.PushReg(s)
@@ -153,8 +157,11 @@ func sizeOf(t Template, inst *x86.Inst) (int, error) {
 // pickScratch returns n distinct general-purpose registers that do not
 // appear in inst's memory operand (so a lea of the operand computed in
 // them is safe before the displaced instruction reads its own
-// registers — the scratch registers are restored first).
-func pickScratch(inst *x86.Inst, n int) []x86.Reg {
+// registers — the scratch registers are restored first). ok is false
+// when the pool cannot supply n registers; templates turn that into an
+// emit error so the tactic simply fails for that location instead of
+// crashing the rewrite.
+func pickScratch(inst *x86.Inst, n int) ([]x86.Reg, bool) {
 	pool := []x86.Reg{x86.RAX, x86.RCX, x86.RDX, x86.RSI, x86.RDI, x86.R8, x86.R9, x86.R10, x86.R11}
 	out := make([]x86.Reg, 0, n)
 	for _, r := range pool {
@@ -163,10 +170,10 @@ func pickScratch(inst *x86.Inst, n int) []x86.Reg {
 		}
 		out = append(out, r)
 		if len(out) == n {
-			return out
+			return out, true
 		}
 	}
-	panic("trampoline: scratch pool exhausted")
+	return nil, false
 }
 
 // emitDisplaced appends code that performs the displaced instruction's

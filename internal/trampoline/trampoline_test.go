@@ -241,7 +241,10 @@ func TestPickScratchAvoidsOperands(t *testing.T) {
 	a := x86.NewAsm(0)
 	a.MovMemReg64(x86.MIdx(x86.RAX, x86.RCX, 8, 0), x86.RDX)
 	inst := decodeAt(t, a.MustFinish(), 0)
-	regs := pickScratch(&inst, 3)
+	regs, ok := pickScratch(&inst, 3)
+	if !ok {
+		t.Fatal("pickScratch failed on a two-register operand")
+	}
 	for _, r := range regs {
 		if r == x86.RAX || r == x86.RCX {
 			t.Errorf("scratch %v collides with operand", r)
