@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest plancheck bench bench-json bench-parallel bench-plancache servertest fuzzshort fuzzhostile ci
+.PHONY: all build fmt vet test race difftest plancheck speccheck bench bench-json bench-parallel bench-plancache bench-match servertest fuzzshort fuzzhostile ci
 
 all: build test
 
@@ -42,6 +42,18 @@ plancheck:
 	$(GO) test ./internal/plan/
 	$(GO) test -run TestPlanCacheRematerialize ./internal/server/
 
+# speccheck verifies the match/patch spec language end to end: the
+# lang unit suite (typed diagnostics, hostile-input caps, fuzz seed
+# corpus), the golden spec corpus, the A1/A2 spec-vs-hardcoded
+# byte-identity gate at every parallelism width, the call-trampoline
+# recipes executed under the emulator (argument marshalling asserted),
+# and the served spec/payload transport with its 422 mapping.
+speccheck:
+	$(GO) test ./internal/lang/
+	$(GO) test -run 'TestSpecGoldenCorpus|TestRecipeFilesInSync|TestSpecSelectorEquivalence' .
+	$(GO) test -run 'TestSyscallTraceRecipe|TestBranchCoverageRecipe|TestCallArgumentMarshalling|TestApplyRejectsHostileInjections' .
+	$(GO) test -run 'TestSpec|TestBadSpecMaps422' ./internal/server/
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
@@ -60,6 +72,12 @@ bench-parallel:
 # skips (plan once, apply = rematerialize), with byte-identity checked.
 bench-plancache:
 	$(GO) run ./cmd/e9bench -plancache -json BENCH_plancache.json
+
+# bench-match records the spec-language matcher's per-instruction cost
+# against the hardcoded selectors it subsumes (selection identity is
+# checked before timing; a divergence fails the run).
+bench-match:
+	$(GO) run ./cmd/e9bench -matchlang -json BENCH_match.json
 
 # servertest is the e9served smoke test: build the real binary, start
 # it on an ephemeral port, POST a corpus binary, and check the output
@@ -82,4 +100,4 @@ fuzzhostile:
 	$(GO) test -run 'TestHostile|TestLibraryLimits' -count 1 .
 	$(GO) test -run '^FuzzRewriteHostileELF$$' -fuzz '^FuzzRewriteHostileELF$$' -fuzztime 10s .
 
-ci: fmt vet race difftest plancheck servertest fuzzshort fuzzhostile
+ci: fmt vet race difftest plancheck speccheck servertest fuzzshort fuzzhostile

@@ -14,6 +14,7 @@
 //	e9bench -enginespeed       # interp vs tbc emulation throughput
 //	e9bench -parallelism=8     # rewrite-phase scaling curve, widths 1..8
 //	e9bench -plancache         # plan-cache-hit rematerialization speedup
+//	e9bench -matchlang         # spec-language matcher cost vs hardcoded selectors
 //	e9bench -all               # everything
 //
 // -scale shrinks the synthetic binaries relative to the paper's sizes
@@ -48,6 +49,24 @@ type jsonReport struct {
 	Emulation   *emulationJSON   `json:"emulation,omitempty"`
 	Parallel    *parallelJSON    `json:"rewriteScaling,omitempty"`
 	PlanCache   *planCacheJSON   `json:"planCache,omitempty"`
+	MatchLang   *matchLangJSON   `json:"matchLang,omitempty"`
+}
+
+// matchLangJSON mirrors eval.MatchLangBench for the -matchlang run.
+type matchLangJSON struct {
+	Profile string             `json:"profile"`
+	Insts   int                `json:"insts"`
+	Rows    []matchLangRowJSON `json:"rows"`
+}
+
+type matchLangRowJSON struct {
+	Name      string  `json:"name"`
+	Expr      string  `json:"expr"`
+	Matched   int     `json:"matched"`
+	HardNs    float64 `json:"hardcodedNsPerInst,omitempty"`
+	LangNs    float64 `json:"compiledNsPerInst"`
+	Slowdown  float64 `json:"slowdown,omitempty"`
+	Identical bool    `json:"identicalSelection"`
 }
 
 // planCacheJSON mirrors eval.PlanCacheBench for the -plancache run.
@@ -110,6 +129,7 @@ func main() {
 		engSpd  = flag.Bool("enginespeed", false, "interp vs tbc emulation throughput")
 		parMax  = flag.Int("parallelism", 0, "measure rewrite-phase scaling up to this worker count")
 		planCch = flag.Bool("plancache", false, "measure plan-cache-hit rematerialization speedup")
+		mtchLng = flag.Bool("matchlang", false, "measure spec-language matcher cost vs hardcoded selectors")
 		all     = flag.Bool("all", false, "run every experiment")
 		scale   = flag.Float64("scale", 0.25, "binary size scale vs the paper")
 		full    = flag.Bool("full", false, "shorthand for -scale 1")
@@ -338,6 +358,29 @@ func main() {
 			OutputBytes: pc.OutputBytes,
 			Identical:   pc.Identical,
 		}
+	}
+
+	if *mtchLng || *all {
+		ran = true
+		fmt.Println("== Match-language matcher cost (gcc profile) ==")
+		ml, err := eval.MeasureMatchLang(opt, prog)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d instructions disassembled from the %s static text\n", ml.Insts, ml.Profile)
+		mj := &matchLangJSON{Profile: ml.Profile, Insts: ml.Insts}
+		for _, r := range ml.Rows {
+			if r.HardNs > 0 {
+				fmt.Printf("  %-9s %-34q %7d matched   hardcoded %6.1f ns/inst   compiled %6.1f ns/inst   (%.2fx)\n",
+					r.Name, r.Expr, r.Matched, r.HardNs, r.LangNs, r.Slowdown)
+			} else {
+				fmt.Printf("  %-9s %-34q %7d matched   compiled %6.1f ns/inst\n",
+					r.Name, r.Expr, r.Matched, r.LangNs)
+			}
+			mj.Rows = append(mj.Rows, matchLangRowJSON(r))
+		}
+		fmt.Println()
+		report.MatchLang = mj
 	}
 
 	if !ran {

@@ -1,6 +1,10 @@
 // Command e9dump inspects an (original or rewritten) x86-64 ELF
 // binary: sections, linear-disassembly statistics, patch-point counts,
 // and — for rewritten binaries — the appended trampoline blob.
+//
+// With -spec it instead inspects a spec-language file (internal/lang):
+// the typed AST of each match/exclude expression, the patch directive,
+// and the compiled selector's operation count and shardability.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 
 	"e9patch/internal/disasm"
 	"e9patch/internal/elf64"
+	"e9patch/internal/lang"
 	"e9patch/internal/loader"
 )
 
@@ -17,8 +22,25 @@ func main() {
 	var (
 		n    = flag.Int("n", 0, "disassemble and print the first N instructions")
 		skip = flag.Uint64("skip", 0, "skip the first N bytes of .text")
+		spec = flag.String("spec", "", "dump the typed AST and shardability of a spec file instead of a binary")
 	)
 	flag.Parse()
+	if *spec != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: e9dump -spec FILE")
+			os.Exit(2)
+		}
+		text, err := os.ReadFile(*spec)
+		if err != nil {
+			fatal(err)
+		}
+		sp, err := lang.ParseSpec(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(sp.Dump())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: e9dump [-n count] BINARY")
 		os.Exit(2)

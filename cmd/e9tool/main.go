@@ -2,32 +2,40 @@
 // spirit of the E9Tool companion of E9Patch: patch points are selected
 // with a matcher expression and the action is chosen by name.
 //
-// Usage:
+// The primary interface is the spec language (internal/lang,
+// DESIGN.md §11), E9Tool-style:
 //
-//	e9tool -match 'jcc & short' -action empty -o out.bin input.bin
-//	e9tool -match heapwrite -action lowfat -o hardened.bin input.bin
-//	e9tool -match 'branch' -action counter=0x300000000 -o traced.bin input.bin
+//	e9tool -M 'jcc & short' -P empty -o out.bin input.bin
+//	e9tool -M 'call & indirect' -P 'call trace(addr)@trace_payload.elf' -o traced.bin input.bin
+//	e9tool -spec examples/specs/syscall_trace.e9spec -o traced.bin input.bin
 //
-// The two rewrite phases can also be driven separately:
+// -M takes a match expression (asm=, mnemonic=, operand registers,
+// address ranges, and/or/not — see internal/lang); -P a patch spec
+// (empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap |
+// call FN(args)[@PAYLOAD]); -spec a spec file combining match/exclude/
+// patch/payload directives. Payload ELFs for call patches resolve
+// relative to the spec file (or the working directory for -P), or
+// explicitly via -payload.
 //
-//	e9tool -match 'jcc' -dry-run input.bin                    # plan, report, write nothing
-//	e9tool -match 'jcc' -emit-plan plan.json input.bin        # plan only, save the decisions
+// The legacy flags remain: -match (internal/match grammar) and
+// -action. The two rewrite phases can also be driven separately:
+//
+//	e9tool -M 'jcc' -dry-run input.bin                        # plan, report, write nothing
+//	e9tool -M 'jcc' -emit-plan plan.json input.bin            # plan only, save the decisions
 //	e9tool -apply-plan plan.json -o out.bin input.bin         # replay a saved plan
-//
-// Matcher grammar (see internal/match): terms like jump, jcc, call,
-// ret, memwrite, heapwrite, riprel, short, len>=N, op=0xNN,
-// mnemonic=S, addr=0xA combined with &, |, ! and parentheses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"e9patch"
+	"e9patch/internal/lang"
 	"e9patch/internal/lowfat"
 	"e9patch/internal/patch"
 	"e9patch/internal/trampoline"
@@ -35,10 +43,14 @@ import (
 
 func main() {
 	var (
-		expr      = flag.String("match", "", "matcher expression (required unless -apply-plan)")
-		action    = flag.String("action", "empty", "empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap")
+		exprM     = flag.String("M", "", "spec-language match expression (e.g. 'call & indirect', 'asm=\"mov.*\"')")
+		patchP    = flag.String("P", "", "spec-language patch: empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap | 'call FN(args)[@PAYLOAD]'")
+		specFile  = flag.String("spec", "", "spec file with match/exclude/patch/payload directives (exclusive with -M/-P/-match/-action)")
+		payloadF  = flag.String("payload", "", "payload ELF for call patches (overrides the spec's @reference)")
+		expr      = flag.String("match", "", "legacy matcher expression (internal/match grammar)")
+		action    = flag.String("action", "empty", "legacy action: empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap")
 		out       = flag.String("o", "", "output file (required unless -dry-run or -emit-plan)")
-		gran      = flag.Int("M", 1, "page grouping granularity (-1 disables)")
+		gran      = flag.Int("granularity", 1, "page grouping granularity (-1 disables)")
 		b0        = flag.Bool("b0-fallback", false, "int3 fallback for unpatchable locations")
 		skip      = flag.Uint64("skip", 0, "skip first N bytes of .text")
 		dryRun    = flag.Bool("dry-run", false, "plan only: report tactics and footprint, write nothing")
@@ -57,11 +69,13 @@ func main() {
 	planOnly := *dryRun || *emitPlan != ""
 	usageErr := func(msg string) {
 		fmt.Fprintln(os.Stderr, "e9tool: "+msg)
-		fmt.Fprintln(os.Stderr, "usage: e9tool -match EXPR [-action ACT] [-dry-run] [-emit-plan PLAN] -o OUT INPUT")
+		fmt.Fprintln(os.Stderr, "usage: e9tool -M EXPR [-P PATCH] [-dry-run] [-emit-plan PLAN] -o OUT INPUT")
+		fmt.Fprintln(os.Stderr, "       e9tool -spec FILE [-payload ELF] -o OUT INPUT")
 		fmt.Fprintln(os.Stderr, "       e9tool -apply-plan PLAN -o OUT INPUT")
 		flag.Usage()
 		os.Exit(2)
 	}
+	useLang := *specFile != "" || *exprM != "" || *patchP != ""
 	switch {
 	case flag.NArg() != 1:
 		usageErr("exactly one input binary expected")
@@ -72,8 +86,12 @@ func main() {
 		if *out == "" {
 			usageErr("-apply-plan needs -o")
 		}
-	case *expr == "":
-		usageErr("-match is required")
+	case *specFile != "" && (*exprM != "" || *patchP != "" || *expr != "" || *action != "empty"):
+		usageErr("-spec is exclusive with -M/-P/-match/-action")
+	case useLang && (*expr != "" || (*action != "empty" && *patchP != "")):
+		usageErr("-M/-P are exclusive with -match/-action")
+	case !useLang && *expr == "":
+		usageErr("-M (or a -spec file, or legacy -match) is required")
 	case *out == "" && !planOnly:
 		usageErr("-o is required (or use -dry-run/-emit-plan)")
 	}
@@ -103,13 +121,7 @@ func main() {
 		return
 	}
 
-	sel, err := e9patch.SelectMatch(*expr)
-	if err != nil {
-		fatal(err)
-	}
-
 	cfg := e9patch.Config{
-		Select:      sel,
 		Granularity: *gran,
 		SkipPrefix:  *skip,
 		Patch:       patch.Options{B0Fallback: *b0},
@@ -121,29 +133,79 @@ func main() {
 			PhaseTimeout:       *phaseTimeout,
 		},
 	}
-	switch {
-	case *action == "empty":
-		// default template
-	case strings.HasPrefix(*action, "counter="):
-		addr, err := strconv.ParseUint((*action)[len("counter="):], 0, 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad counter address: %w", err))
+	if useLang {
+		// Spec-language path: parse (file or -M/-P), resolve the
+		// payload reference, and lower to pipeline configuration.
+		var sp *lang.Spec
+		payloadDir := "."
+		if *specFile != "" {
+			text, err := os.ReadFile(*specFile)
+			if err != nil {
+				fatal(err)
+			}
+			if sp, err = lang.ParseSpec(string(text)); err != nil {
+				fatal(err)
+			}
+			payloadDir = filepath.Dir(*specFile)
+		} else {
+			m := *exprM
+			if m == "" {
+				usageErr("-P needs a match expression (-M)")
+			}
+			var err error
+			if sp, err = lang.FromParts(m, *patchP); err != nil {
+				fatal(err)
+			}
 		}
-		cfg.Template = trampoline.Counter{Addr: addr}
-	case strings.HasPrefix(*action, "contextcall="):
-		addr, err := strconv.ParseUint((*action)[len("contextcall="):], 0, 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad contextcall address: %w", err))
+		var payload []byte
+		ref := *payloadF
+		if ref == "" && sp.PayloadRef != "" {
+			ref = filepath.Join(payloadDir, sp.PayloadRef)
 		}
-		cfg.Template = trampoline.ContextCall{Fn: addr}
-	case *action == "lowfat":
-		cfg.Template = lowfat.CheckTemplate{}
-		cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
-	case *action == "lowfat-trap":
-		cfg.Template = lowfat.CheckTemplate{Trap: true}
-		cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
-	default:
-		fatal(fmt.Errorf("unknown action %q", *action))
+		if ref != "" {
+			var err error
+			if payload, err = os.ReadFile(ref); err != nil {
+				fatal(err)
+			}
+		}
+		br, err := sp.Build(payload)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Select = br.Select
+		cfg.Template = br.Template
+		cfg.Inject = br.Inject
+		cfg.ReserveVA = append(cfg.ReserveVA, br.ReserveVA...)
+	} else {
+		sel, err := e9patch.SelectMatch(*expr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Select = sel
+		switch {
+		case *action == "empty":
+			// default template
+		case strings.HasPrefix(*action, "counter="):
+			addr, err := strconv.ParseUint((*action)[len("counter="):], 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad counter address: %w", err))
+			}
+			cfg.Template = trampoline.Counter{Addr: addr}
+		case strings.HasPrefix(*action, "contextcall="):
+			addr, err := strconv.ParseUint((*action)[len("contextcall="):], 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad contextcall address: %w", err))
+			}
+			cfg.Template = trampoline.ContextCall{Fn: addr}
+		case *action == "lowfat":
+			cfg.Template = lowfat.CheckTemplate{}
+			cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
+		case *action == "lowfat-trap":
+			cfg.Template = lowfat.CheckTemplate{Trap: true}
+			cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
+		default:
+			fatal(fmt.Errorf("unknown action %q", *action))
+		}
 	}
 
 	if planOnly {

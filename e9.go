@@ -121,9 +121,23 @@ func SelectMatch(expr string) (Selector, error) {
 }
 
 // Template builds trampoline code for displaced instructions; see the
-// trampoline package for the built-in templates (Empty, Counter, Raw)
-// and the lowfat package for the hardening check.
+// trampoline package for the built-in templates (Empty, Counter, Raw,
+// Call) and the lowfat package for the hardening check.
 type Template = trampoline.Template
+
+// Injection is one extra memory image mapped into the rewritten
+// binary's address space at load time, in runtime coordinates — how
+// spec-language call patches ship their payload ELF segments. The
+// pipeline validates that injections never overlap the input's own
+// segments (page-rounded) or each other, and reserves their pages so
+// no trampoline lands inside them.
+type Injection = plan.Injection
+
+// injectDefaultBase is where pipeline-allocated injections (the call
+// template's argument tables) go when the configuration injects
+// nothing of its own. It sits far above both link bases and PIEBase,
+// and below the stack region.
+const injectDefaultBase uint64 = 0xA_0000_0000
 
 // RawTemplate adapts a code-emitting callback into a trampoline
 // template, for arbitrary binary patches (the paper's Example 3.1).
@@ -150,6 +164,11 @@ type Config struct {
 	// ReserveVA lists extra [lo, hi) ranges trampolines must avoid
 	// (e.g. runtime-call addresses).
 	ReserveVA [][2]uint64
+	// Inject lists extra memory images to map into the output binary
+	// (payload ELF segments for spec-language call patches). Addresses
+	// are runtime coordinates; pages are reserved against trampoline
+	// placement and recorded in the PatchPlan.
+	Inject []Injection
 	// SkipPrefix disassembles only after the first SkipPrefix bytes of
 	// .text (the paper's ChromeMain workaround for data-in-text).
 	SkipPrefix uint64
@@ -189,6 +208,9 @@ type Result struct {
 	Bias uint64
 	// Trampolines is the number of trampolines emitted.
 	Trampolines int
+	// InjectedBytes is the total size of injected memory images
+	// (payload segments and argument tables; 0 without injections).
+	InjectedBytes int
 	// Locations records the per-location outcome (address in runtime
 	// coordinates and the tactic that succeeded), in patch order.
 	Locations []patch.LocResult
@@ -292,6 +314,7 @@ func PlanContext(ctx context.Context, input []byte, cfg Config) (_ *PatchPlan, e
 		Insts:       st.insts,
 		BadBytes:    st.badBytes,
 		Warnings:    st.warnings,
+		Injections:  st.inject,
 		Sites:       st.rw.Sites(),
 	}
 	p.BindInput(input)
@@ -351,6 +374,11 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 		return nil, e9err.Malformed("apply", "e9patch: plan text geometry %#x+%d does not match binary %#x+%d",
 			p.TextAddr, p.TextLen, textAddr+bias, len(text))
 	}
+	// Injections come from the (possibly hostile) plan; revalidate them
+	// against this binary before mapping anything.
+	if err := validateInjections(p.Injections, f, bias, "apply"); err != nil {
+		return nil, err
+	}
 
 	// Replay the decision stream: byte edits into a fresh text image,
 	// trampolines and dispatch entries into the emit inputs, tactics
@@ -392,23 +420,24 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	out, gres, err := materialize(f, bias, textAddr, code, trs, sig, p.Granularity)
+	out, gres, err := materialize(f, bias, textAddr, code, trs, sig, p.Granularity, p.Injections)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Output:      out,
-		Stats:       stats,
-		Group:       gres.Stats,
-		Mappings:    gres.Stats.Mappings,
-		InputSize:   len(input),
-		OutputSize:  len(out),
-		Insts:       p.Insts,
-		BadBytes:    p.BadBytes,
-		Bias:        bias,
-		Trampolines: len(trs),
-		Locations:   locs,
-		Warnings:    p.Warnings,
+		Output:        out,
+		Stats:         stats,
+		Group:         gres.Stats,
+		Mappings:      gres.Stats.Mappings,
+		InputSize:     len(input),
+		OutputSize:    len(out),
+		Insts:         p.Insts,
+		BadBytes:      p.BadBytes,
+		Bias:          bias,
+		Trampolines:   len(trs),
+		InjectedBytes: injectedBytes(p.Injections),
+		Locations:     locs,
+		Warnings:      p.Warnings,
 	}, nil
 }
 
@@ -424,6 +453,7 @@ type planPipeline struct {
 	badBytes int
 	warnings []string
 	gran     int // normalized granularity (negative: naive emission)
+	inject   []plan.Injection
 }
 
 // runPlanPipeline executes the decision phases: parse → sharded
@@ -517,6 +547,32 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	}
 	warnings := diagnoseSelection(cfg.Select, dres.Insts, selected, bias)
 
+	// Injection phase: copy the configured injections, give Preparer
+	// templates (the call trampoline's argument tables) their
+	// whole-selection pass with an allocator that appends further
+	// injections, then validate the lot against the binary's segments.
+	inject := make([]plan.Injection, 0, len(cfg.Inject))
+	for _, inj := range cfg.Inject {
+		d := make(plan.Bytes, len(inj.Data))
+		copy(d, inj.Data)
+		inject = append(inject, plan.Injection{Addr: inj.Addr, Data: d})
+	}
+	if prep, ok := cfg.Template.(trampoline.Preparer); ok {
+		alloc := func(data []byte) (uint64, error) {
+			base := injectionTop(inject)
+			d := make(plan.Bytes, len(data))
+			copy(d, data)
+			inject = append(inject, plan.Injection{Addr: base, Data: d})
+			return base, nil
+		}
+		if err := prep.Prepare(dres.Insts, selected, alloc); err != nil {
+			return nil, e9err.Wrap(e9err.ErrUnsupported, "plan", err)
+		}
+	}
+	if err := validateInjections(inject, f, bias, "plan"); err != nil {
+		return nil, err
+	}
+
 	// Address-space model: all loaded segments are off limits
 	// (page-rounded, since the loader maps whole pages), as are any
 	// caller-reserved ranges.
@@ -533,6 +589,13 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	}
 	for _, iv := range cfg.ReserveVA {
 		if err := reserveMerged(space, iv[0], iv[1]); err != nil {
+			return nil, err
+		}
+	}
+	for _, inj := range inject {
+		lo := inj.Addr &^ (elf64.PageSize - 1)
+		hi := (inj.Addr + uint64(len(inj.Data)) + elf64.PageSize - 1) &^ (elf64.PageSize - 1)
+		if err := reserveMerged(space, lo, hi); err != nil {
 			return nil, err
 		}
 	}
@@ -580,6 +643,7 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 		badBytes: dres.BadBytes,
 		warnings: warnings,
 		gran:     cfg.Granularity,
+		inject:   inject,
 	}, nil
 }
 
@@ -587,13 +651,19 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 // in place, group trampolines into merged physical blocks (addresses
 // stored link-relative so the loader can apply any bias), encode the
 // loader blob and append it without moving a byte of the original.
-func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.Trampoline, sig map[uint64]uint64, gran int) ([]byte, *group.Result, error) {
+func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.Trampoline, sig map[uint64]uint64, gran int, inject []plan.Injection) ([]byte, *group.Result, error) {
 	if err := f.PatchBytes(textAddr, code); err != nil {
 		return nil, nil, err
 	}
-	chunks := make([]group.Chunk, len(trs))
+	chunks := make([]group.Chunk, len(trs), len(trs)+len(inject))
 	for i, tr := range trs {
 		chunks[i] = group.Chunk{Addr: tr.Addr - bias, Data: tr.Code}
+	}
+	// Injections ride the same blob: addresses are stored link-relative
+	// like trampoline chunks (the subtraction may wrap for a PIE bias —
+	// the loader's bias addition wraps back to the absolute address).
+	for _, inj := range inject {
+		chunks = append(chunks, group.Chunk{Addr: inj.Addr - bias, Data: inj.Data})
 	}
 	naive := false
 	if gran < 0 {
@@ -633,24 +703,98 @@ func rewriteLegacy(ctx context.Context, input []byte, cfg Config) (_ *Result, er
 	}
 	rw := st.rw
 	trs := rw.Trampolines()
-	out, gres, err := materialize(st.f, st.bias, st.textAddr, rw.Code(), trs, rw.SigTab(), st.gran)
+	out, gres, err := materialize(st.f, st.bias, st.textAddr, rw.Code(), trs, rw.SigTab(), st.gran, st.inject)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Output:      out,
-		Stats:       rw.Stats(),
-		Group:       gres.Stats,
-		Mappings:    gres.Stats.Mappings,
-		InputSize:   len(input),
-		OutputSize:  len(out),
-		Insts:       st.insts,
-		BadBytes:    st.badBytes,
-		Bias:        st.bias,
-		Trampolines: len(trs),
-		Locations:   rw.Results(),
-		Warnings:    st.warnings,
+		Output:        out,
+		Stats:         rw.Stats(),
+		Group:         gres.Stats,
+		Mappings:      gres.Stats.Mappings,
+		InputSize:     len(input),
+		OutputSize:    len(out),
+		Insts:         st.insts,
+		BadBytes:      st.badBytes,
+		Bias:          st.bias,
+		Trampolines:   len(trs),
+		InjectedBytes: injectedBytes(st.inject),
+		Locations:     rw.Results(),
+		Warnings:      st.warnings,
 	}, nil
+}
+
+// injectedBytes sums the injected image sizes.
+func injectedBytes(inject []plan.Injection) int {
+	n := 0
+	for _, inj := range inject {
+		n += len(inj.Data)
+	}
+	return n
+}
+
+// injectionTop returns the page-aligned address just past the highest
+// existing injection, where the pipeline allocates its own tables —
+// right above the payload so the whole injected region stays compact.
+// With no injections configured it falls back to injectDefaultBase.
+func injectionTop(inject []plan.Injection) uint64 {
+	top := injectDefaultBase
+	for _, inj := range inject {
+		if end := (inj.Addr + uint64(len(inj.Data)) + elf64.PageSize - 1) &^ (elf64.PageSize - 1); end > top {
+			top = end
+		}
+	}
+	return top
+}
+
+// validateInjections rejects injection lists that could corrupt the
+// output: empty or address-wrapping images, images overlapping each
+// other, and images overlapping the binary's own loaded segments
+// (page-rounded — the loader maps whole pages, and injected pages are
+// mapped before the input's segments). phase is "plan" (a
+// configuration mistake, ErrUnsupported) or "apply" (a hostile plan,
+// ErrMalformed).
+func validateInjections(inject []plan.Injection, f *elf64.File, bias uint64, phase string) error {
+	if len(inject) == 0 {
+		return nil
+	}
+	fail := func(format string, args ...any) error {
+		if phase == "apply" {
+			return e9err.Malformed(phase, format, args...)
+		}
+		return e9err.Unsupported(phase, format, args...)
+	}
+	type span struct{ lo, hi uint64 }
+	spans := make([]span, 0, len(inject))
+	for _, inj := range inject {
+		if len(inj.Data) == 0 {
+			return fail("e9patch: empty injection at %#x", inj.Addr)
+		}
+		end := inj.Addr + uint64(len(inj.Data))
+		if end < inj.Addr {
+			return fail("e9patch: injection at %#x wraps the address space", inj.Addr)
+		}
+		lo := inj.Addr &^ (elf64.PageSize - 1)
+		hi := (end + elf64.PageSize - 1) &^ (elf64.PageSize - 1)
+		for _, p := range f.Progs {
+			if p.Type != elf64.PTLoad || p.Memsz == 0 {
+				continue
+			}
+			slo := (p.Vaddr + bias) &^ (elf64.PageSize - 1)
+			shi := (p.Vaddr + bias + p.Memsz + elf64.PageSize - 1) &^ (elf64.PageSize - 1)
+			if lo < shi && slo < hi {
+				return fail("e9patch: injection [%#x,%#x) overlaps loaded segment [%#x,%#x)",
+					inj.Addr, end, p.Vaddr+bias, p.Vaddr+bias+p.Memsz)
+			}
+		}
+		for _, s := range spans {
+			if inj.Addr < s.hi && s.lo < end {
+				return fail("e9patch: injection [%#x,%#x) overlaps another injection", inj.Addr, end)
+			}
+		}
+		spans = append(spans, span{lo: inj.Addr, hi: end})
+	}
+	return nil
 }
 
 // parallelSelect evaluates the selector, sharding the instruction

@@ -36,6 +36,11 @@ var (
 	// contained by a recovery boundary. These are rewriter bugs, never
 	// the client's; the *Error carries the recovery site's stack.
 	ErrInternal = e9err.ErrInternal
+	// ErrBadSpec classifies spec-language (internal/lang) match or
+	// patch specifications that fail to parse or typecheck. The
+	// *Error's reason and message carry the 1-based line:column of the
+	// offending token; e9served maps this class to HTTP 422.
+	ErrBadSpec = e9err.ErrBadSpec
 )
 
 // Error is the concrete classified error type behind the taxonomy;

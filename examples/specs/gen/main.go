@@ -1,0 +1,45 @@
+// Command gen writes the payload ELFs the shipped spec recipes
+// reference (trace_payload.elf, coverage_payload.elf):
+//
+//	go run ./examples/specs/gen
+//	e9tool -spec examples/specs/syscall_trace.e9spec -o out.elf in.elf
+//
+// The payloads are linked at workload.PayloadBase with their patch
+// functions exported as global symbols, which is all the spec
+// language requires of user payloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"e9patch/internal/workload"
+)
+
+func main() {
+	dir := flag.String("o", "examples/specs", "output directory for the payload ELFs")
+	flag.Parse()
+
+	payloads := []struct {
+		file  string
+		build func() ([]byte, error)
+	}{
+		{"trace_payload.elf", workload.BuildTracePayload},
+		{"coverage_payload.elf", workload.BuildCoveragePayload},
+	}
+	for _, p := range payloads {
+		raw, err := p.build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gen: %s: %v\n", p.file, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*dir, p.file)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(raw))
+	}
+}

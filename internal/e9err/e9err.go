@@ -16,6 +16,10 @@
 //   - ErrInternal: an invariant broke — typically a panic contained by
 //     a recovery boundary. These are our bugs, never the client's, and
 //     carry the recovery site's stack for the operator.
+//   - ErrBadSpec: a match/patch specification (the internal/lang
+//     language) failed to parse or typecheck. The error carries the
+//     line/column of the offending token so recipe authors can fix the
+//     spec; e9served maps it to HTTP 422.
 //
 // The concrete *Error type adds phase, offset and machine-readable
 // reason context on top of the class. The package is a leaf (standard
@@ -36,6 +40,7 @@ var (
 	ErrUnsupported   = errors.New("unsupported input")
 	ErrResourceLimit = errors.New("resource limit exceeded")
 	ErrInternal      = errors.New("internal error")
+	ErrBadSpec       = errors.New("bad spec")
 )
 
 // Machine-readable rejection reasons carried by ErrResourceLimit
@@ -47,6 +52,11 @@ const (
 	ReasonTooManySites     = "too-many-sites"
 	ReasonTrampolineBudget = "trampoline-budget"
 	ReasonPhaseDeadline    = "phase-deadline"
+
+	// ReasonBadSpec labels ErrBadSpec rejections in metrics. The error's
+	// Reason string appends the source position ("bad-spec:LINE:COL") so
+	// position info survives even contexts that only keep the reason.
+	ReasonBadSpec = "bad-spec"
 )
 
 // Error is a classified pipeline error. Class is always one of the
@@ -132,6 +142,20 @@ func Limit(phase, reason, format string, args ...any) *Error {
 // Internal builds an ErrInternal error for phase.
 func Internal(phase, format string, args ...any) *Error {
 	return &Error{Class: ErrInternal, Phase: phase, Msg: fmt.Sprintf(format, args...)}
+}
+
+// BadSpec builds an ErrBadSpec error for a spec-language failure at the
+// given 1-based source position. The position is carried twice: in the
+// machine-readable Reason ("bad-spec:LINE:COL") and in the message
+// ("line L:C: ..."), so both HTTP bodies and metric labels locate the
+// offending token.
+func BadSpec(phase string, line, col int, format string, args ...any) *Error {
+	return &Error{
+		Class:  ErrBadSpec,
+		Phase:  phase,
+		Reason: fmt.Sprintf("%s:%d:%d", ReasonBadSpec, line, col),
+		Msg:    fmt.Sprintf("line %d:%d: %s", line, col, fmt.Sprintf(format, args...)),
+	}
 }
 
 // Wrap classifies an existing error, preserving it as the cause. A nil

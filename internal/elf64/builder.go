@@ -20,6 +20,10 @@ type BuildSpec struct {
 	Data []byte
 	// BSSSize is the size of the zero-initialised .bss after .data.
 	BSSSize uint64
+	// Symbols, when non-empty, adds a .symtab/.strtab pair exposing
+	// the entries as global function symbols — how spec-language
+	// payloads name their patch functions. Addresses are absolute.
+	Symbols []Sym
 }
 
 // DefaultBase is the traditional ld non-PIE link base.
@@ -59,10 +63,37 @@ func Build(spec BuildSpec) ([]byte, error) {
 	nameBSS := uint32(13)
 	nameShstr := uint32(18)
 
+	// The symbol table is appended after .data; without symbols the
+	// layout (and every byte) is identical to the symbol-free format.
+	haveSyms := len(spec.Symbols) > 0
+	var nameSymtab, nameStrtab uint32
+	var symOff, symSize64, symStrOff uint64
+	var symStrs []byte
+	if haveSyms {
+		nameSymtab = uint32(len(strtab))
+		strtab = append(strtab, ".symtab\x00"...)
+		nameStrtab = uint32(len(strtab))
+		strtab = append(strtab, ".strtab\x00"...)
+		symOff = alignUp(dataEnd, 8)
+		symSize64 = uint64(1+len(spec.Symbols)) * symSize
+		symStrOff = symOff + symSize64
+		symStrs = []byte{0}
+		for i := range spec.Symbols {
+			symStrs = append(symStrs, spec.Symbols[i].Name...)
+			symStrs = append(symStrs, 0)
+		}
+	}
+
 	strtabOff := alignUp(dataEnd, 16)
+	if haveSyms {
+		strtabOff = alignUp(symStrOff+uint64(len(symStrs)), 16)
+	}
 	shOff := alignUp(strtabOff+uint64(len(strtab)), 8)
 
-	const shNum = 5
+	shNum := uint64(5)
+	if haveSyms {
+		shNum = 7
+	}
 	total := shOff + shNum*shdrSize
 	out := make([]byte, total)
 
@@ -87,6 +118,10 @@ func Build(spec BuildSpec) ([]byte, error) {
 		{Type: PTGnuStack, Flags: PFR | PFW, Align: 16},
 	}
 
+	shStrNdx := uint16(4)
+	if haveSyms {
+		shStrNdx = 6
+	}
 	h := Header{
 		Type:     fileType,
 		Machine:  MachineX86_64,
@@ -94,8 +129,8 @@ func Build(spec BuildSpec) ([]byte, error) {
 		PhOff:    ehdrSize,
 		ShOff:    shOff,
 		PhNum:    uint16(len(progs)),
-		ShNum:    shNum,
-		ShStrNdx: 4,
+		ShNum:    uint16(shNum),
+		ShStrNdx: shStrNdx,
 	}
 	writeEhdr(out, &h)
 	for i := range progs {
@@ -103,6 +138,14 @@ func Build(spec BuildSpec) ([]byte, error) {
 	}
 	copy(out[textOff:], spec.Text)
 	copy(out[dataOff:], spec.Data)
+	if haveSyms {
+		nameOff := uint32(1)
+		for i := range spec.Symbols {
+			writeSym(out[symOff+uint64(1+i)*symSize:], nameOff, &spec.Symbols[i])
+			nameOff += uint32(len(spec.Symbols[i].Name)) + 1
+		}
+		copy(out[symStrOff:], symStrs)
+	}
 	copy(out[strtabOff:], strtab)
 
 	sections := []Section{
@@ -126,12 +169,26 @@ func Build(spec BuildSpec) ([]byte, error) {
 			Off:   dataEnd, Size: spec.BSSSize,
 			Addralign: 32,
 		},
-		{
-			NameOff: nameShstr, Type: SHTStrtab,
-			Off: strtabOff, Size: uint64(len(strtab)),
-			Addralign: 1,
-		},
 	}
+	if haveSyms {
+		sections = append(sections,
+			Section{
+				NameOff: nameSymtab, Type: SHTSymtab,
+				Off: symOff, Size: symSize64,
+				Link: 5, Info: 1, Entsize: symSize,
+				Addralign: 8,
+			},
+			Section{
+				NameOff: nameStrtab, Type: SHTStrtab,
+				Off: symStrOff, Size: uint64(len(symStrs)),
+				Addralign: 1,
+			})
+	}
+	sections = append(sections, Section{
+		NameOff: nameShstr, Type: SHTStrtab,
+		Off: strtabOff, Size: uint64(len(strtab)),
+		Addralign: 1,
+	})
 	for i := range sections {
 		writeShdr(out[shOff+uint64(i)*shdrSize:], &sections[i])
 	}

@@ -1,0 +1,79 @@
+package elf64
+
+import (
+	"e9patch/internal/e9err"
+)
+
+// symSize is the size of one Elf64_Sym entry.
+const symSize = 24
+
+// Sym is a global function symbol: the subset of Elf64_Sym the spec
+// language needs to locate patch functions inside payload ELFs.
+type Sym struct {
+	// Name is the symbol name.
+	Name string
+	// Addr is the symbol's absolute virtual address.
+	Addr uint64
+	// Size is the symbol size in bytes (0 when unknown).
+	Size uint64
+}
+
+// Symbols parses the file's .symtab/.strtab pair and returns the
+// defined entries (the null entry and nameless symbols are skipped).
+// A file without a symbol table returns ErrUnsupported — for payload
+// ELFs that means "link the payload with its patch functions global".
+func (f *File) Symbols() ([]Sym, error) {
+	var symtab *Section
+	for i := range f.Sections {
+		if f.Sections[i].Type == SHTSymtab {
+			symtab = &f.Sections[i]
+			break
+		}
+	}
+	if symtab == nil {
+		return nil, e9err.Unsupported("parse", "elf64: no symbol table")
+	}
+	if symtab.Entsize != 0 && symtab.Entsize != symSize {
+		return nil, e9err.Malformed("parse", "elf64: symtab entsize %d (want %d)", symtab.Entsize, symSize)
+	}
+	if !spanInside(symtab.Off, symtab.Size, uint64(len(f.Data))) {
+		return nil, e9err.MalformedAt("parse", symtab.Off, "elf64: symtab overruns file")
+	}
+	if int(symtab.Link) >= len(f.Sections) {
+		return nil, e9err.Malformed("parse", "elf64: symtab string table link %d out of range", symtab.Link)
+	}
+	str := f.Sections[symtab.Link]
+	if str.Type != SHTStrtab {
+		return nil, e9err.Malformed("parse", "elf64: symtab links section %d, not a string table", symtab.Link)
+	}
+	if !spanInside(str.Off, str.Size, uint64(len(f.Data))) {
+		return nil, e9err.MalformedAt("parse", str.Off, "elf64: symbol string table overruns file")
+	}
+	strs := f.Data[str.Off : str.Off+str.Size]
+
+	count := symtab.Size / symSize
+	var out []Sym
+	for i := uint64(1); i < count; i++ {
+		e := f.Data[symtab.Off+i*symSize:]
+		nameOff := le.Uint32(e)
+		if nameOff == 0 || uint64(nameOff) >= uint64(len(strs)) {
+			continue
+		}
+		out = append(out, Sym{
+			Name: cstr(strs, nameOff),
+			Addr: le.Uint64(e[8:]),
+			Size: le.Uint64(e[16:]),
+		})
+	}
+	return out, nil
+}
+
+// writeSym encodes one global STT_FUNC symbol in .text (shndx 1).
+func writeSym(buf []byte, nameOff uint32, s *Sym) {
+	le.PutUint32(buf, nameOff)
+	buf[4] = 0x12 // STB_GLOBAL << 4 | STT_FUNC
+	buf[5] = 0    // STV_DEFAULT
+	le.PutUint16(buf[6:], 1)
+	le.PutUint64(buf[8:], s.Addr)
+	le.PutUint64(buf[16:], s.Size)
+}

@@ -1,0 +1,294 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+
+	"e9patch/internal/e9err"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tAnd    // '&', '&&' or the keyword 'and'
+	tOr     // '|', '||' or the keyword 'or'
+	tNot    // '!' or the keyword 'not'
+	tLParen // '('
+	tRParen // ')'
+	tEq     // '=' or '=='
+	tNe     // '!='
+	tLt     // '<'
+	tGt     // '>'
+	tLe     // '<='
+	tGe     // '>='
+	tDotDot // '..'
+	tComma  // ','
+	tAt     // '@'
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tNumber:
+		return "number"
+	case tString:
+		return "string"
+	case tAnd:
+		return "'&'"
+	case tOr:
+		return "'|'"
+	case tNot:
+		return "'!'"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tEq:
+		return "'='"
+	case tNe:
+		return "'!='"
+	case tLt:
+		return "'<'"
+	case tGt:
+		return "'>'"
+	case tLe:
+		return "'<='"
+	case tGe:
+		return "'>='"
+	case tDotDot:
+		return "'..'"
+	case tComma:
+		return "','"
+	case tAt:
+		return "'@'"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	text string // identifier / string body / raw number text
+	num  uint64 // value when kind == tNumber
+	pos  Pos
+}
+
+// lexer scans one expression or patch spec. base positions let spec
+// files report file-accurate line:column for directives parsed from
+// the middle of a line.
+type lexer struct {
+	src   string
+	off   int
+	pos   Pos    // position of src[off]
+	phase string // e9err phase for diagnostics
+}
+
+func newLexer(src string, base Pos, phase string) *lexer {
+	if base.Line == 0 {
+		base = Pos{Line: 1, Col: 1}
+	}
+	return &lexer{src: src, pos: base, phase: phase}
+}
+
+func (lx *lexer) errf(p Pos, format string, args ...any) *e9err.Error {
+	return e9err.BadSpec(lx.phase, p.Line, p.Col, format, args...)
+}
+
+// advance consumes n bytes, tracking line/column.
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if lx.src[lx.off+i] == '\n' {
+			lx.pos.Line++
+			lx.pos.Col = 1
+		} else {
+			lx.pos.Col++
+		}
+	}
+	lx.off += n
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Identifier tails allow '-' so multi-word patch kinds (lowfat-trap)
+// lex as one token; '-' is not an operator anywhere in the grammar.
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c == '-' || (c >= '0' && c <= '9')
+}
+
+func isNumCont(c byte) bool {
+	return c == '_' || c == 'x' || c == 'X' || c == 'b' || c == 'B' ||
+		c == 'o' || c == 'O' || (c >= '0' && c <= '9') ||
+		(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// next scans the next token.
+func (lx *lexer) next() (token, error) {
+	// Skip whitespace and # comments.
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			lx.advance(1)
+			continue
+		}
+		if c == '#' {
+			n := lx.off
+			for n < len(lx.src) && lx.src[n] != '\n' {
+				n++
+			}
+			lx.advance(n - lx.off)
+			continue
+		}
+		break
+	}
+	start := lx.pos
+	if lx.off >= len(lx.src) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	c := lx.src[lx.off]
+	switch {
+	case isIdentStart(c):
+		n := lx.off
+		for n < len(lx.src) && isIdentCont(lx.src[n]) {
+			n++
+		}
+		text := lx.src[lx.off:n]
+		lx.advance(n - lx.off)
+		switch text {
+		case "and":
+			return token{kind: tAnd, text: text, pos: start}, nil
+		case "or":
+			return token{kind: tOr, text: text, pos: start}, nil
+		case "not":
+			return token{kind: tNot, text: text, pos: start}, nil
+		}
+		return token{kind: tIdent, text: text, pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		n := lx.off
+		for n < len(lx.src) && isNumCont(lx.src[n]) {
+			n++
+		}
+		text := lx.src[lx.off:n]
+		lx.advance(n - lx.off)
+		v, err := strconv.ParseUint(text, 0, 64)
+		if err != nil {
+			return token{}, lx.errf(start, "bad number %q", text)
+		}
+		return token{kind: tNumber, text: text, num: v, pos: start}, nil
+
+	case c == '"':
+		var b strings.Builder
+		n := lx.off + 1
+		for {
+			if n >= len(lx.src) || lx.src[n] == '\n' {
+				return token{}, lx.errf(start, "unterminated string")
+			}
+			if lx.src[n] == '"' {
+				n++
+				break
+			}
+			if lx.src[n] == '\\' {
+				if n+1 >= len(lx.src) {
+					return token{}, lx.errf(start, "unterminated string")
+				}
+				switch lx.src[n+1] {
+				case '\\', '"':
+					b.WriteByte(lx.src[n+1])
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					// Keep the backslash: regex escapes like \d pass
+					// through to the regexp compiler untouched.
+					b.WriteByte('\\')
+					b.WriteByte(lx.src[n+1])
+				}
+				n += 2
+				continue
+			}
+			b.WriteByte(lx.src[n])
+			n++
+		}
+		lx.advance(n - lx.off)
+		return token{kind: tString, text: b.String(), pos: start}, nil
+	}
+
+	two := func(kind tokKind, text string) (token, error) {
+		lx.advance(2)
+		return token{kind: kind, text: text, pos: start}, nil
+	}
+	one := func(kind tokKind) (token, error) {
+		lx.advance(1)
+		return token{kind: kind, text: string(c), pos: start}, nil
+	}
+	var c2 byte
+	if lx.off+1 < len(lx.src) {
+		c2 = lx.src[lx.off+1]
+	}
+	switch c {
+	case '&':
+		if c2 == '&' {
+			return two(tAnd, "&&")
+		}
+		return one(tAnd)
+	case '|':
+		if c2 == '|' {
+			return two(tOr, "||")
+		}
+		return one(tOr)
+	case '!':
+		if c2 == '=' {
+			return two(tNe, "!=")
+		}
+		return one(tNot)
+	case '=':
+		if c2 == '=' {
+			return two(tEq, "==")
+		}
+		return one(tEq)
+	case '<':
+		if c2 == '=' {
+			return two(tLe, "<=")
+		}
+		return one(tLt)
+	case '>':
+		if c2 == '=' {
+			return two(tGe, ">=")
+		}
+		return one(tGt)
+	case '.':
+		if c2 == '.' {
+			return two(tDotDot, "..")
+		}
+	case '(':
+		return one(tLParen)
+	case ')':
+		return one(tRParen)
+	case ',':
+		return one(tComma)
+	case '@':
+		return one(tAt)
+	}
+	return token{}, lx.errf(start, "unexpected character %q", string(c))
+}
+
+// rest consumes and returns the remaining input, trimmed. Used for
+// payload references after '@', which may contain path characters the
+// token grammar does not cover.
+func (lx *lexer) rest() string {
+	s := lx.src[lx.off:]
+	lx.advance(len(s))
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,239 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"e9patch/internal/trampoline"
+)
+
+// PatchKind enumerates the trampoline families a spec can request.
+type PatchKind int
+
+const (
+	// PatchEmpty is the paper's overhead-measurement trampoline.
+	PatchEmpty PatchKind = iota
+	// PatchCounter increments a 64-bit counter at a fixed address.
+	PatchCounter
+	// PatchContextCall saves all registers and calls a fixed address.
+	PatchContextCall
+	// PatchLowfat inserts the LowFat pointer check (mitigation mode).
+	PatchLowfat
+	// PatchLowfatTrap is the LowFat check in trapping mode.
+	PatchLowfatTrap
+	// PatchCall saves caller-visible state and calls a named function
+	// in an injected payload ELF, marshalling typed arguments.
+	PatchCall
+)
+
+func (k PatchKind) String() string {
+	switch k {
+	case PatchEmpty:
+		return "empty"
+	case PatchCounter:
+		return "counter"
+	case PatchContextCall:
+		return "contextcall"
+	case PatchLowfat:
+		return "lowfat"
+	case PatchLowfatTrap:
+		return "lowfat-trap"
+	case PatchCall:
+		return "call"
+	}
+	return fmt.Sprintf("patchkind(%d)", int(k))
+}
+
+// PatchSpec is a parsed patch directive.
+type PatchSpec struct {
+	Kind PatchKind
+	// Addr is the counter/contextcall target address.
+	Addr uint64
+	// Fn names the payload function for call patches.
+	Fn string
+	// Args are the marshalled call arguments, in SysV register order.
+	Args []trampoline.Arg
+	// PayloadRef is the payload reference after '@' (a file name for
+	// e9tool; advisory for the server, which receives payload bytes).
+	PayloadRef string
+	// Src is the directive's source text.
+	Src string
+}
+
+// String renders the spec in directive syntax.
+func (ps *PatchSpec) String() string {
+	switch ps.Kind {
+	case PatchCounter, PatchContextCall:
+		return fmt.Sprintf("%s=%#x", ps.Kind, ps.Addr)
+	case PatchCall:
+		args := make([]string, len(ps.Args))
+		for i, a := range ps.Args {
+			args[i] = a.String()
+		}
+		s := fmt.Sprintf("call %s(%s)", ps.Fn, strings.Join(args, ", "))
+		if ps.PayloadRef != "" {
+			s += " @" + ps.PayloadRef
+		}
+		return s
+	}
+	return ps.Kind.String()
+}
+
+// callArgNames maps argument keywords to their marshalling kinds.
+var callArgNames = map[string]trampoline.ArgKind{
+	"addr":   trampoline.ArgAddr,
+	"size":   trampoline.ArgSize,
+	"len":    trampoline.ArgSize,
+	"target": trampoline.ArgTarget,
+	"imm":    trampoline.ArgImm,
+	"next":   trampoline.ArgNext,
+	"asm":    trampoline.ArgAsm,
+}
+
+// ParsePatch parses a patch directive ("call trace(addr)@payload.elf",
+// "counter=0x300000000", "empty", ...). An empty string means empty.
+func ParsePatch(src string) (*PatchSpec, error) {
+	return parsePatchString(src, Pos{Line: 1, Col: 1}, "patch")
+}
+
+func parsePatchString(src string, base Pos, phase string) (*PatchSpec, error) {
+	lx := newLexer(src, base, phase)
+	tok, err := lx.next()
+	if err != nil {
+		return nil, err
+	}
+	ps := &PatchSpec{Src: strings.TrimSpace(src)}
+	if tok.kind == tEOF {
+		return ps, nil
+	}
+	if tok.kind != tIdent {
+		return nil, lx.errf(tok.pos, "expected a patch kind, got %s", tok.kind)
+	}
+	expectEnd := func() error {
+		end, err := lx.next()
+		if err != nil {
+			return err
+		}
+		if end.kind != tEOF {
+			return lx.errf(end.pos, "unexpected %s %q after patch spec", end.kind, end.text)
+		}
+		return nil
+	}
+	parseAddr := func() (uint64, error) {
+		eq, err := lx.next()
+		if err != nil {
+			return 0, err
+		}
+		if eq.kind != tEq {
+			return 0, lx.errf(eq.pos, "%s needs a target address (%s=ADDR)", tok.text, tok.text)
+		}
+		num, err := lx.next()
+		if err != nil {
+			return 0, err
+		}
+		if num.kind != tNumber {
+			return 0, lx.errf(num.pos, "expected an address after %s=, got %s", tok.text, num.kind)
+		}
+		return num.num, nil
+	}
+
+	switch tok.text {
+	case "empty":
+		return ps, expectEnd()
+	case "counter":
+		ps.Kind = PatchCounter
+		if ps.Addr, err = parseAddr(); err != nil {
+			return nil, err
+		}
+		return ps, expectEnd()
+	case "contextcall":
+		ps.Kind = PatchContextCall
+		if ps.Addr, err = parseAddr(); err != nil {
+			return nil, err
+		}
+		return ps, expectEnd()
+	case "lowfat":
+		ps.Kind = PatchLowfat
+		return ps, expectEnd()
+	case "lowfat-trap":
+		ps.Kind = PatchLowfatTrap
+		return ps, expectEnd()
+	case "call":
+		ps.Kind = PatchCall
+		return ps, parseCall(lx, ps)
+	}
+	return nil, lx.errf(tok.pos,
+		"unknown patch kind %q (want empty, counter=ADDR, contextcall=ADDR, lowfat, lowfat-trap or call FN(...))", tok.text)
+}
+
+func parseCall(lx *lexer, ps *PatchSpec) error {
+	name, err := lx.next()
+	if err != nil {
+		return err
+	}
+	if name.kind != tIdent {
+		return lx.errf(name.pos, "call needs a function name, got %s", name.kind)
+	}
+	ps.Fn = name.text
+	open, err := lx.next()
+	if err != nil {
+		return err
+	}
+	if open.kind != tLParen {
+		return lx.errf(open.pos, "expected '(' after call %s", ps.Fn)
+	}
+	tok, err := lx.next()
+	if err != nil {
+		return err
+	}
+	for tok.kind != tRParen {
+		var arg trampoline.Arg
+		switch tok.kind {
+		case tIdent:
+			kind, ok := callArgNames[tok.text]
+			if !ok {
+				return lx.errf(tok.pos, "unknown call argument %q (want %s or a number)",
+					tok.text, names(callArgNames))
+			}
+			arg = trampoline.Arg{Kind: kind}
+		case tNumber:
+			arg = trampoline.Arg{Kind: trampoline.ArgStatic, Value: tok.num}
+		default:
+			return lx.errf(tok.pos, "expected a call argument, got %s", tok.kind)
+		}
+		if len(ps.Args) == len(trampoline.ArgRegs) {
+			return lx.errf(tok.pos, "too many call arguments (at most %d fit the SysV integer registers)",
+				len(trampoline.ArgRegs))
+		}
+		ps.Args = append(ps.Args, arg)
+		if tok, err = lx.next(); err != nil {
+			return err
+		}
+		if tok.kind == tComma {
+			if tok, err = lx.next(); err != nil {
+				return err
+			}
+			if tok.kind == tRParen {
+				return lx.errf(tok.pos, "trailing comma in call arguments")
+			}
+		} else if tok.kind != tRParen {
+			return lx.errf(tok.pos, "expected ',' or ')' in call arguments, got %s", tok.kind)
+		}
+	}
+	end, err := lx.next()
+	if err != nil {
+		return err
+	}
+	switch end.kind {
+	case tEOF:
+		return nil
+	case tAt:
+		ref := lx.rest()
+		if ref == "" {
+			return lx.errf(end.pos, "'@' needs a payload reference")
+		}
+		ps.PayloadRef = ref
+		return nil
+	}
+	return lx.errf(end.pos, "unexpected %s %q after call arguments (want '@payload' or end)", end.kind, end.text)
+}

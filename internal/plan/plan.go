@@ -77,6 +77,16 @@ type SigEntry struct {
 	Trampoline uint64 `json:"trampoline"`
 }
 
+// Injection is one extra memory image the plan maps into the output
+// binary's address space, in runtime coordinates: user payload ELF
+// segments and the call trampoline's argument tables. Injections are
+// loaded alongside the trampoline pages and never overlap the input's
+// own segments (Apply revalidates this).
+type Injection struct {
+	Addr uint64 `json:"addr"`
+	Data Bytes  `json:"data"`
+}
+
 // Site records the complete decision for one patch location, in patch
 // (descending-address) order. A failed location is recorded too — with
 // tactic "none" and no effects — so per-location outcomes and
@@ -125,6 +135,9 @@ type PatchPlan struct {
 	BadBytes int `json:"badBytes,omitempty"`
 	// Warnings carries the non-fatal diagnostics of the plan phase.
 	Warnings []string `json:"warnings,omitempty"`
+	// Injections are the extra memory images the plan maps (payload
+	// ELF segments, argument tables), in configuration order.
+	Injections []Injection `json:"injections,omitempty"`
 	// Sites are the per-location decisions in patch order.
 	Sites []Site `json:"sites"`
 }

@@ -304,6 +304,16 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := parseSpec(r)
 	if err != nil {
+		// A spec-language program that fails to parse or typecheck is
+		// semantically invalid rather than a malformed request: 422,
+		// with the 1-based line:column in the body. The metric label is
+		// the bare class constant — the position-bearing reason would
+		// explode cardinality.
+		if errors.Is(err, e9patch.ErrBadSpec) {
+			s.metrics.IncRejected(e9err.ReasonBadSpec)
+			fail(http.StatusUnprocessableEntity, err.Error())
+			return
+		}
 		fail(http.StatusBadRequest, err.Error())
 		return
 	}

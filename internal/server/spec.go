@@ -1,6 +1,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/base64"
 	"fmt"
 	"net/http"
 	"sort"
@@ -8,6 +10,7 @@ import (
 	"strings"
 
 	"e9patch"
+	"e9patch/internal/lang"
 	"e9patch/internal/lowfat"
 	"e9patch/internal/patch"
 	"e9patch/internal/trampoline"
@@ -18,8 +21,15 @@ import (
 // are read from query values or X-E9-* headers (header wins), mirroring
 // cmd/e9tool's flags:
 //
-//	match       matcher expression (required), e.g. "jcc & short"
+//	match       matcher expression, e.g. "jcc & short" (required
+//	            unless a spec program is supplied)
 //	action      empty | counter=ADDR | contextcall=ADDR | lowfat | lowfat-trap
+//	spec        spec-language program (internal/lang): match/exclude/
+//	            patch/payload directives. The query value carries the
+//	            raw text; the X-E9-Spec header carries it base64
+//	            (standard encoding). Exclusive with match/action.
+//	payload     payload ELF for call patches, base64 in the query value
+//	            or the X-E9-Payload header
 //	granularity page-grouping granularity M (default 1, -1 disables)
 //	skip        skip first N bytes of .text
 //	disable-t1 / disable-t2 / disable-t3   tactic ablations
@@ -31,6 +41,8 @@ import (
 type Spec struct {
 	Match       string
 	Action      string
+	SpecText    string
+	Payload     []byte
 	Granularity int
 	SkipPrefix  uint64
 	DisableT1   bool
@@ -40,6 +52,10 @@ type Spec struct {
 	ForceB0     bool
 	Reserve     [][2]uint64
 	Parallelism int
+
+	// built is the eagerly lowered spec program when SpecText is set,
+	// so bad specs fail at parse time (422) and Config never re-parses.
+	built *lang.BuildResult
 }
 
 // parseSpec extracts and validates the Spec of a rewrite request.
@@ -64,8 +80,32 @@ func parseSpec(r *http.Request) (*Spec, error) {
 	}
 
 	s := &Spec{Match: get("match"), Action: get("action"), Granularity: 1}
-	if s.Match == "" {
-		return nil, fmt.Errorf("parameter match is required (e.g. ?match=jcc+%%26+short)")
+	s.SpecText = q.Get("spec")
+	if h := r.Header.Get("X-E9-Spec"); h != "" {
+		text, err := base64.StdEncoding.DecodeString(h)
+		if err != nil {
+			return nil, fmt.Errorf("header X-E9-Spec: %w", err)
+		}
+		s.SpecText = string(text)
+	}
+	for _, src := range []struct{ name, val string }{
+		{"parameter payload", q.Get("payload")},
+		{"header X-E9-Payload", r.Header.Get("X-E9-Payload")}, // header wins
+	} {
+		if src.val == "" {
+			continue
+		}
+		raw, err := base64.StdEncoding.DecodeString(src.val)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", src.name, err)
+		}
+		s.Payload = raw
+	}
+	switch {
+	case s.SpecText != "" && (s.Match != "" || s.Action != ""):
+		return nil, fmt.Errorf("parameter spec is exclusive with match/action")
+	case s.SpecText == "" && s.Match == "":
+		return nil, fmt.Errorf("parameter match or spec is required (e.g. ?match=jcc+%%26+short)")
 	}
 	if s.Action == "" {
 		s.Action = "empty"
@@ -152,12 +192,25 @@ func parseSpec(r *http.Request) (*Spec, error) {
 		return s.Reserve[a][1] < s.Reserve[b][1]
 	})
 
-	// Validate eagerly so bad requests fail with 400 before queueing.
-	if _, err := e9patch.SelectMatch(s.Match); err != nil {
-		return nil, err
-	}
-	if _, err := s.template(); err != nil {
-		return nil, err
+	// Validate eagerly so bad requests fail before queueing: spec
+	// programs that fail to parse or typecheck surface as ErrBadSpec
+	// (mapped to 422 with the line:column position), everything else
+	// as 400.
+	if s.SpecText != "" {
+		sp, err := lang.ParseSpec(s.SpecText)
+		if err != nil {
+			return nil, err
+		}
+		if s.built, err = sp.Build(s.Payload); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := e9patch.SelectMatch(s.Match); err != nil {
+			return nil, err
+		}
+		if _, err := s.template(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -179,6 +232,14 @@ func (s *Spec) Canonical() string {
 		!s.DisableT1, !s.DisableT2, !s.DisableT3, s.B0Fallback, s.ForceB0)
 	for _, r := range s.Reserve {
 		fmt.Fprintf(&b, "|reserve=%#x-%#x", r[0], r[1])
+	}
+	// Spec programs and their payloads fold into the key as content
+	// hashes (the program can be kilobytes, the payload megabytes);
+	// both cache tiers inherit the distinction automatically.
+	if s.SpecText != "" {
+		hs := sha256.Sum256([]byte(s.SpecText))
+		hp := sha256.Sum256(s.Payload)
+		fmt.Fprintf(&b, "|spec=%x|payload=%x", hs, hp)
 	}
 	return b.String()
 }
@@ -212,17 +273,7 @@ func (s *Spec) template() (e9patch.Template, error) {
 
 // Config builds the e9patch.Config the spec describes.
 func (s *Spec) Config() (e9patch.Config, error) {
-	sel, err := e9patch.SelectMatch(s.Match)
-	if err != nil {
-		return e9patch.Config{}, err
-	}
-	tmpl, err := s.template()
-	if err != nil {
-		return e9patch.Config{}, err
-	}
 	cfg := e9patch.Config{
-		Select:      sel,
-		Template:    tmpl,
 		Granularity: s.Granularity,
 		SkipPrefix:  s.SkipPrefix,
 		Parallelism: s.Parallelism,
@@ -237,6 +288,23 @@ func (s *Spec) Config() (e9patch.Config, error) {
 	for _, r := range s.Reserve {
 		cfg.ReserveVA = append(cfg.ReserveVA, r)
 	}
+	if s.built != nil {
+		cfg.Select = s.built.Select
+		cfg.Template = s.built.Template
+		cfg.Inject = s.built.Inject
+		cfg.ReserveVA = append(cfg.ReserveVA, s.built.ReserveVA...)
+		return cfg, nil
+	}
+	sel, err := e9patch.SelectMatch(s.Match)
+	if err != nil {
+		return e9patch.Config{}, err
+	}
+	tmpl, err := s.template()
+	if err != nil {
+		return e9patch.Config{}, err
+	}
+	cfg.Select = sel
+	cfg.Template = tmpl
 	if strings.HasPrefix(s.Action, "lowfat") {
 		cfg.ReserveVA = append(cfg.ReserveVA, lowfat.ReserveVA()...)
 	}

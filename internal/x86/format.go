@@ -305,3 +305,8 @@ func (i *Inst) String() string {
 	}
 	return mn + " " + strings.Join(out, ",")
 }
+
+// OpWidth returns the operand width in bytes (1, 2, 4 or 8) the
+// formatter derives from the encoding — the width the matcher
+// language's `width` attribute exposes.
+func (i *Inst) OpWidth() int { return i.opWidth() }
