@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest plancheck speccheck bench bench-json bench-parallel bench-plancache bench-match servertest fuzzshort fuzzhostile ci
+.PHONY: all build fmt vet test race difftest plancheck speccheck rpccheck bench bench-json bench-parallel bench-plancache bench-match bench-stream servertest fuzzshort fuzzhostile ci
 
 all: build test
 
@@ -57,9 +57,11 @@ speccheck:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# bench-json records the engine-throughput comparison as a
-# machine-readable BENCH_*.json artefact (the perf trajectory).
-bench-json:
+# bench-json regenerates every machine-readable BENCH_*.json artefact
+# (the perf trajectory): engine throughput, parallel scaling, the
+# plan-cache speedup, the spec-matcher cost, and the streaming memory
+# bound.
+bench-json: bench-parallel bench-plancache bench-match bench-stream
 	$(GO) run ./cmd/e9bench -enginespeed -json BENCH_engines.json
 
 # bench-parallel records the rewrite-phase scaling curve (widths 1..8)
@@ -79,6 +81,26 @@ bench-plancache:
 bench-match:
 	$(GO) run ./cmd/e9bench -matchlang -json BENCH_match.json
 
+# bench-stream proves the zero-copy streaming memory claim on a
+# browser-class (120 MB) workload: each input path runs in its own
+# child process, peak RSS comes from the kernel (getrusage), outputs
+# must be byte-identical, and the streaming peak must stay under the
+# buffered peak minus half the input — the run fails otherwise.
+bench-stream:
+	$(GO) run ./cmd/e9bench -stream -json BENCH_stream.json
+
+# rpccheck verifies the JSON-RPC backend protocol end to end: the
+# golden transcripts in testdata/rpc replayed against the built
+# cmd/e9patch binary (outputs hash-compared with the library path),
+# the usage/abuse paths of the backend binary, the e9tool -backend
+# subprocess pipeline, the in-library session grammar/abuse suite with
+# its fuzz seed corpus, and the served /v2/rewrite streaming endpoint.
+rpccheck:
+	$(GO) test -run 'TestRPCGolden|TestUsageOnTerminalStdin|TestBackendReportsStreamErrors' -count 1 ./cmd/e9patch/
+	$(GO) test -run TestBackendPipeline -count 1 ./cmd/e9tool/
+	$(GO) test ./internal/rpc/
+	$(GO) test -run 'TestStreamEndpoint' -count 1 ./internal/server/
+
 # servertest is the e9served smoke test: build the real binary, start
 # it on an ephemeral port, POST a corpus binary, and check the output
 # is byte-identical to a direct e9patch.Rewrite.
@@ -97,7 +119,7 @@ fuzzshort:
 # The property is containment — hostile input may be rejected, but only
 # with a classified error, never a panic or ErrInternal.
 fuzzhostile:
-	$(GO) test -run 'TestHostile|TestLibraryLimits' -count 1 .
+	$(GO) test -run 'TestHostile|TestLibraryLimits|TestMmapFallbackDifferential' -count 1 .
 	$(GO) test -run '^FuzzRewriteHostileELF$$' -fuzz '^FuzzRewriteHostileELF$$' -fuzztime 10s .
 
-ci: fmt vet race difftest plancheck speccheck servertest fuzzshort fuzzhostile
+ci: fmt vet race difftest plancheck speccheck rpccheck servertest fuzzshort fuzzhostile

@@ -2,27 +2,40 @@
 // control-flow recovery, inserting trampolines for every selected
 // instruction via the B1/B2/T1/T2/T3 tactics.
 //
-// Usage:
+// One-shot usage:
 //
 //	e9patch -app jumps -o patched.bin input.bin
 //
 // Applications: jumps (A1), heapwrites (A2), all (every instruction).
+//
+// Backend usage: with -backend, or with no input argument and stdin
+// connected to a pipe, e9patch reads a line-delimited JSON-RPC message
+// stream from stdin (option* binary (patch|reserve)* emit — see
+// internal/rpc and DESIGN.md §12) and writes responses to stdout. This
+// is the E9Patch frontend/backend split: a frontend such as e9tool
+// -backend drives the rewrite over the pipe, and the backend performs
+// no analysis of its own:
+//
+//	e9tool -backend e9patch -match 'jcc' -o out.bin input.bin
+//	e9patch < session.rpc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"e9patch"
 	"e9patch/internal/patch"
+	"e9patch/internal/rpc"
 	"e9patch/internal/trampoline"
 )
 
 func main() {
 	var (
 		app     = flag.String("app", "jumps", "patch-point selector: jumps | heapwrites | all")
-		out     = flag.String("o", "", "output file (required)")
+		out     = flag.String("o", "", "output file (required in one-shot mode)")
 		gran    = flag.Int("M", 1, "physical page grouping granularity in pages (-1 disables grouping)")
 		noT1    = flag.Bool("no-t1", false, "disable tactic T1 (padded jumps)")
 		noT2    = flag.Bool("no-t2", false, "disable tactic T2 (successor eviction)")
@@ -30,20 +43,11 @@ func main() {
 		b0      = flag.Bool("b0-fallback", false, "fall back to int3/SIGTRAP when all tactics fail")
 		skip    = flag.Uint64("skip", 0, "skip the first N bytes of .text (data-in-text workaround)")
 		counter = flag.Uint64("counter", 0, "instead of empty instrumentation, increment the 8-byte counter at this address")
+		backend = flag.Bool("backend", false, "backend mode: read a JSON-RPC message stream from stdin")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 || *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: e9patch -app jumps|heapwrites|all -o OUT INPUT")
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	input, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-
-	cfg := e9patch.Config{
+	base := e9patch.Config{
 		Granularity: *gran,
 		SkipPrefix:  *skip,
 		Patch: patch.Options{
@@ -53,6 +57,38 @@ func main() {
 			B0Fallback: *b0,
 		},
 	}
+	if *counter != 0 {
+		base.Template = trampoline.Counter{Addr: *counter}
+	}
+
+	// Backend mode: explicit -backend, or no input argument with stdin
+	// on a pipe/file (a frontend at the other end). A bare `e9patch` at
+	// a terminal prints usage instead of waiting silently on stdin.
+	if *backend || (flag.NArg() == 0 && stdinStreamed()) {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "e9patch: -backend takes no input argument (the stream's binary message names the input)")
+			os.Exit(2)
+		}
+		if err := rpc.Serve(context.Background(), os.Stdin, os.Stdout, rpc.Options{
+			AllowPath: true,
+			Base:      base,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 || *out == "" {
+		usage()
+		os.Exit(2)
+	}
+
+	input, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := base
 	switch *app {
 	case "jumps":
 		cfg.Select = e9patch.SelectJumps
@@ -62,9 +98,6 @@ func main() {
 		cfg.Select = e9patch.SelectAll
 	default:
 		fatal(fmt.Errorf("unknown application %q", *app))
-	}
-	if *counter != 0 {
-		cfg.Template = trampoline.Counter{Addr: *counter}
 	}
 
 	res, err := e9patch.Rewrite(input, cfg)
@@ -92,6 +125,33 @@ func main() {
 	fmt.Printf("phys blocks:   %d merged from %d virtual blocks (%d mappings)\n",
 		res.Group.PhysBlocks, res.Group.VirtBlocks, res.Mappings)
 	fmt.Printf("file size:     %d -> %d bytes (%.2f%%)\n", res.InputSize, res.OutputSize, res.SizePercent())
+}
+
+// stdinStreamed reports whether stdin is a pipe or regular file rather
+// than an interactive terminal or the null device — the signal that a
+// frontend is feeding a message stream.
+func stdinStreamed() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice == 0
+}
+
+// usage explains both modes; it is what a bare `e9patch` prints instead
+// of exiting silently or blocking on a terminal.
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  one-shot:  e9patch -app jumps|heapwrites|all -o OUT INPUT
+  backend:   e9patch -backend < MESSAGE-STREAM
+             (or pipe a JSON-RPC stream to stdin with no INPUT argument)
+
+The backend consumes line-delimited JSON-RPC messages:
+  option* binary (patch|reserve)* emit
+See DESIGN.md §12 for the message grammar.
+
+Flags:`)
+	flag.PrintDefaults()
 }
 
 func fatal(err error) {

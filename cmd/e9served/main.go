@@ -13,14 +13,25 @@
 //	POST /v1/rewrite?match=EXPR[&action=ACT&...]   body = ELF bytes
 //	    → 200 rewritten binary; X-E9-Stats (JSON), X-E9-Cache headers
 //	    → 429 + Retry-After under overload; 504 past the time budget
+//	POST /v2/rewrite                                body = JSON-RPC session
+//	    line-delimited option* binary (patch|reserve)* emit stream
+//	    (internal/rpc, DESIGN.md §12), chunked transfer welcome;
+//	    → 200 rewritten binary; X-E9-Stats header; 400 broken streams
 //	GET  /healthz                                   liveness/drain
 //	GET  /metrics                                   Prometheus text
 //
-// Example:
+// Examples:
 //
 //	curl -s --data-binary @input.bin \
 //	    'localhost:8233/v1/rewrite?match=jcc+%26+short&action=empty' \
 //	    -o patched.bin -D -
+//
+//	{ printf '{"method":"binary","params":{"size":%s}}\n' "$(stat -c%s input.bin)"
+//	  cat input.bin; echo
+//	  echo '{"method":"patch","params":{"match":"jcc"}}'
+//	  echo '{"method":"emit"}'
+//	} | curl -s -X POST -H 'Transfer-Encoding: chunked' --data-binary @- \
+//	    localhost:8233/v2/rewrite -o patched.bin
 //
 // SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, open
 // requests get -drain time to finish, then the process exits.

@@ -56,6 +56,7 @@ func main() {
 		dryRun    = flag.Bool("dry-run", false, "plan only: report tactics and footprint, write nothing")
 		emitPlan  = flag.String("emit-plan", "", "plan only: write the patch plan JSON to FILE")
 		applyPlan = flag.String("apply-plan", "", "skip planning: replay the patch plan JSON from FILE")
+		backend   = flag.String("backend", "", "drive the e9patch backend at PATH over JSON-RPC instead of rewriting in-process (legacy -match path only)")
 
 		// Hostile-input hardening: resource limits for rewriting
 		// untrusted binaries (0 disables a bound).
@@ -94,6 +95,43 @@ func main() {
 		usageErr("-M (or a -spec file, or legacy -match) is required")
 	case *out == "" && !planOnly:
 		usageErr("-o is required (or use -dry-run/-emit-plan)")
+	}
+
+	if *backend != "" {
+		// The spec language and the plan phases lower to in-process
+		// closures that cannot cross a pipe; the backend split carries
+		// exactly what the protocol can express.
+		switch {
+		case useLang:
+			usageErr("-backend supports the legacy -match path only (not -M/-P/-spec)")
+		case planOnly || *applyPlan != "":
+			usageErr("-backend is exclusive with -dry-run/-emit-plan/-apply-plan")
+		case *maxInputMB != 0 || *maxTextMB != 0 || *maxSites != 0 || *maxTrampMB != 0 || *phaseTimeout != 0:
+			usageErr("resource limits apply to the backend process, not the frontend; set them on the backend side")
+		}
+		counter := uint64(0)
+		switch {
+		case *action == "empty":
+		case strings.HasPrefix(*action, "counter="):
+			addr, err := strconv.ParseUint((*action)[len("counter="):], 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad counter address: %w", err))
+			}
+			counter = addr
+		default:
+			usageErr("-backend supports -action empty or counter=ADDR only")
+		}
+		if err := runBackend(*backend, flag.Arg(0), backendOptions{
+			match:       *expr,
+			output:      *out,
+			granularity: *gran,
+			skipPrefix:  *skip,
+			b0Fallback:  *b0,
+			counter:     counter,
+		}); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	input, err := os.ReadFile(flag.Arg(0))

@@ -300,7 +300,7 @@ func Plan(input []byte, cfg Config) (*PatchPlan, error) {
 // ErrInternal with the stack attached, never propagated to the caller.
 func PlanContext(ctx context.Context, input []byte, cfg Config) (_ *PatchPlan, err error) {
 	defer e9err.Recover("plan", &err)
-	st, err := runPlanPipeline(ctx, input, cfg)
+	st, err := runPlanPipeline(ctx, input, cfg, false)
 	if err != nil {
 		return nil, err
 	}
@@ -352,10 +352,10 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 		return nil, err
 	}
 
-	// Work on a copy: PatchBytes mutates File.Data.
-	data := make([]byte, len(input))
-	copy(data, input)
-	f, err := elf64.Parse(data)
+	// Parse the input read-only: the compose path below never writes to
+	// the parsed image, so no private copy is needed — input may be a
+	// read-only mmap view.
+	f, err := elf64.Parse(input)
 	if err != nil {
 		return nil, err
 	}
@@ -366,10 +366,11 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 	if bias != p.Bias {
 		return nil, e9err.Malformed("apply", "e9patch: plan load bias %#x does not match binary (%#x)", p.Bias, bias)
 	}
-	text, textAddr, err := f.Text()
+	textOff, textAddr, textSize, err := f.TextRange()
 	if err != nil {
 		return nil, err
 	}
+	text := input[textOff : textOff+textSize]
 	if textAddr+bias != p.TextAddr || len(text) != p.TextLen {
 		return nil, e9err.Malformed("apply", "e9patch: plan text geometry %#x+%d does not match binary %#x+%d",
 			p.TextAddr, p.TextLen, textAddr+bias, len(text))
@@ -382,12 +383,23 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 
 	// Replay the decision stream: byte edits into a fresh text image,
 	// trampolines and dispatch entries into the emit inputs, tactics
-	// into the statistics.
+	// into the statistics. The accumulators are sized from the plan up
+	// front — replay is decision-free, so the counts are exact.
 	code := make([]byte, len(text))
 	copy(code, text)
+	nsig := 0
+	for i := range p.Sites {
+		nsig += len(p.Sites[i].SigTab)
+	}
 	var trs []patch.Trampoline
 	var locs []patch.LocResult
-	sig := make(map[uint64]uint64)
+	if n := p.TrampolineCount(); n > 0 {
+		trs = make([]patch.Trampoline, 0, n)
+	}
+	if len(p.Sites) > 0 {
+		locs = make([]patch.LocResult, 0, len(p.Sites))
+	}
+	sig := make(map[uint64]uint64, nsig)
 	var stats patch.Stats
 	for i := range p.Sites {
 		s := &p.Sites[i]
@@ -420,7 +432,7 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	out, gres, err := materialize(f, bias, textAddr, code, trs, sig, p.Granularity, p.Injections)
+	out, gres, err := materializeCompose(input, f, bias, textOff, code, trs, sig, p.Granularity, p.Injections)
 	if err != nil {
 		return nil, err
 	}
@@ -441,29 +453,28 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 	}, nil
 }
 
-// planPipeline is the state the decision phase hands to its consumers
-// (PlanContext, and rewriteLegacy for the differential reference).
-type planPipeline struct {
+// pipelineState is the parse+disassembly outcome shared by the
+// one-shot pipeline and the streaming session: the decision phases that
+// follow (selection, injections, patching) all run against it.
+type pipelineState struct {
 	f        *elf64.File
 	bias     uint64
+	textOff  uint64 // file offset of .text
 	textAddr uint64 // link-time .text address
-	textLen  int
-	rw       *patch.Rewriter
-	insts    int
+	text     []byte
+	insts    []x86.Inst
 	badBytes int
-	warnings []string
-	gran     int // normalized granularity (negative: naive emission)
-	inject   []plan.Injection
+	width    int
 }
 
-// runPlanPipeline executes the decision phases: parse → sharded
-// disassembly → match → S1 reverse-order patching with trampoline
-// allocation. All mutation happens on private copies; the input slice
-// is never written.
-func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeline, error) {
-	if cfg.Select == nil {
-		return nil, errors.New("e9patch: Config.Select is required")
-	}
+// openPipeline runs the front half of the decision pipeline: normalize
+// the configuration, enforce the input-side limits, parse the ELF and
+// disassemble .text. cfg is normalized in place (template and
+// granularity defaults). When private is set the binary is copied first
+// so a later in-place materialization (rewriteLegacy) cannot touch the
+// caller's bytes; the zero-copy paths pass private=false and are
+// guaranteed read-only access to input — it may be an mmap view.
+func openPipeline(ctx context.Context, input []byte, cfg *Config, private bool) (*pipelineState, error) {
 	if cfg.Template == nil {
 		cfg.Template = trampoline.Empty{}
 	}
@@ -483,9 +494,11 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 		return nil, err
 	}
 
-	// Work on a copy: the patch phase mutates its text image.
-	data := make([]byte, len(input))
-	copy(data, input)
+	data := input
+	if private {
+		data = make([]byte, len(input))
+		copy(data, input)
+	}
 	f, err := elf64.Parse(data)
 	if err != nil {
 		return nil, err
@@ -495,10 +508,11 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 		bias = PIEBase
 	}
 
-	text, textAddr, err := f.Text()
+	textOff, textAddr, textSize, err := f.TextRange()
 	if err != nil {
 		return nil, err
 	}
+	text := f.Data[textOff : textOff+textSize]
 	if lim.MaxTextBytes > 0 && int64(len(text)) > lim.MaxTextBytes {
 		return nil, e9err.Limit("parse", e9err.ReasonTextTooLarge,
 			"e9patch: .text is %d bytes, limit is %d", len(text), lim.MaxTextBytes)
@@ -506,7 +520,6 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	if cfg.SkipPrefix > uint64(len(text)) {
 		return nil, fmt.Errorf("e9patch: SkipPrefix %d exceeds .text size %d", cfg.SkipPrefix, len(text))
 	}
-	rtTextAddr := textAddr + bias
 	width := cfg.Parallelism
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
@@ -520,7 +533,7 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 		return nil, err
 	}
 	dctx, dcancel := phaseDeadline(ctx, lim.PhaseTimeout)
-	dres, dok := disasm.ParallelCancel(text[cfg.SkipPrefix:], rtTextAddr+cfg.SkipPrefix, width, cfg.Pool, dctx.Done())
+	dres, dok := disasm.ParallelCancel(text[cfg.SkipPrefix:], textAddr+bias+cfg.SkipPrefix, width, cfg.Pool, dctx.Done())
 	if !dok {
 		deadlined := errors.Is(dctx.Err(), context.DeadlineExceeded)
 		dcancel()
@@ -535,17 +548,26 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	}
 	dcancel()
 
-	// Match phase: run the selector over the disassembly, sharded when
-	// the selector is registered as per-instruction pure.
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	selected := parallelSelect(cfg.Select, dres.Insts, width, cfg.Pool)
-	if lim.MaxPatchSites > 0 && len(selected) > lim.MaxPatchSites {
-		return nil, e9err.Limit("match", e9err.ReasonTooManySites,
-			"e9patch: selector chose %d patch sites, limit is %d", len(selected), lim.MaxPatchSites)
-	}
-	warnings := diagnoseSelection(cfg.Select, dres.Insts, selected, bias)
+	return &pipelineState{
+		f:        f,
+		bias:     bias,
+		textOff:  textOff,
+		textAddr: textAddr,
+		text:     text,
+		insts:    dres.Insts,
+		badBytes: dres.BadBytes,
+		width:    width,
+	}, nil
+}
+
+// finishPlanPhase runs the decision phases that follow selection:
+// injection preparation and validation, address-space reservation, and
+// the S1 reverse-order patch loop with trampoline allocation. selected
+// holds instruction indices in ascending order. skipPlan drops the
+// per-location plan record for consumers that materialize straight
+// from the live rewriter (the streaming session).
+func finishPlanPhase(ctx context.Context, st *pipelineState, cfg *Config, selected []int, skipPlan bool) (*patch.Rewriter, []plan.Injection, error) {
+	lim := cfg.Limits
 
 	// Injection phase: copy the configured injections, give Preparer
 	// templates (the call trampoline's argument tables) their
@@ -565,50 +587,51 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 			inject = append(inject, plan.Injection{Addr: base, Data: d})
 			return base, nil
 		}
-		if err := prep.Prepare(dres.Insts, selected, alloc); err != nil {
-			return nil, e9err.Wrap(e9err.ErrUnsupported, "plan", err)
+		if err := prep.Prepare(st.insts, selected, alloc); err != nil {
+			return nil, nil, e9err.Wrap(e9err.ErrUnsupported, "plan", err)
 		}
 	}
-	if err := validateInjections(inject, f, bias, "plan"); err != nil {
-		return nil, err
+	if err := validateInjections(inject, st.f, st.bias, "plan"); err != nil {
+		return nil, nil, err
 	}
 
 	// Address-space model: all loaded segments are off limits
 	// (page-rounded, since the loader maps whole pages), as are any
 	// caller-reserved ranges.
 	space := va.NewDefault()
-	for _, p := range f.Progs {
+	for _, p := range st.f.Progs {
 		if p.Type != elf64.PTLoad || p.Memsz == 0 {
 			continue
 		}
-		lo := (p.Vaddr + bias) &^ (elf64.PageSize - 1)
-		hi := (p.Vaddr + bias + p.Memsz + elf64.PageSize - 1) &^ (elf64.PageSize - 1)
+		lo := (p.Vaddr + st.bias) &^ (elf64.PageSize - 1)
+		hi := (p.Vaddr + st.bias + p.Memsz + elf64.PageSize - 1) &^ (elf64.PageSize - 1)
 		if err := reserveMerged(space, lo, hi); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for _, iv := range cfg.ReserveVA {
 		if err := reserveMerged(space, iv[0], iv[1]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for _, inj := range inject {
 		lo := inj.Addr &^ (elf64.PageSize - 1)
 		hi := (inj.Addr + uint64(len(inj.Data)) + elf64.PageSize - 1) &^ (elf64.PageSize - 1)
 		if err := reserveMerged(space, lo, hi); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	_, loadHi := f.LoadBounds()
-	poolHint := (loadHi + bias + 2*elf64.PageSize) &^ (elf64.PageSize - 1)
+	_, loadHi := st.f.LoadBounds()
+	poolHint := (loadHi + st.bias + 2*elf64.PageSize) &^ (elf64.PageSize - 1)
 
 	// Patch phase: the heavy loop also polls ctx between locations.
 	if err := ctxErr(ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	popts := cfg.Patch
 	popts.Template = cfg.Template
-	popts.Workers = width
+	popts.Workers = st.width
+	popts.SkipPlan = skipPlan
 	if cfg.Pool != nil {
 		popts.Pool = cfg.Pool
 	}
@@ -617,44 +640,89 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config) (*planPipeli
 	}
 	pctx, pcancel := phaseDeadline(ctx, lim.PhaseTimeout)
 	popts.Cancel = pctx.Done()
-	rw := patch.New(text, rtTextAddr, dres.Insts, space, poolHint, popts)
+	rw := patch.New(st.text, st.textAddr+st.bias, st.insts, space, poolHint, popts)
 	rw.PatchAll(selected)
 	deadlined := errors.Is(pctx.Err(), context.DeadlineExceeded)
 	pcancel()
 	if deadlined {
-		return nil, e9err.Limit("patch", e9err.ReasonPhaseDeadline,
+		return nil, nil, e9err.Limit("patch", e9err.ReasonPhaseDeadline,
 			"e9patch: patching exceeded the phase deadline %s", lim.PhaseTimeout)
 	}
 	if err := ctxErr(ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if rw.LimitExceeded() {
-		return nil, e9err.Limit("patch", e9err.ReasonTrampolineBudget,
+		return nil, nil, e9err.Limit("patch", e9err.ReasonTrampolineBudget,
 			"e9patch: emitted trampoline code exceeds the %d-byte budget", lim.MaxTrampolineBytes)
 	}
+	return rw, inject, nil
+}
 
+// planPipeline is the state the decision phase hands to its consumers
+// (PlanContext, and rewriteLegacy for the differential reference).
+type planPipeline struct {
+	f        *elf64.File
+	bias     uint64
+	textAddr uint64 // link-time .text address
+	textLen  int
+	rw       *patch.Rewriter
+	insts    int
+	badBytes int
+	warnings []string
+	gran     int // normalized granularity (negative: naive emission)
+	inject   []plan.Injection
+}
+
+// runPlanPipeline executes the decision phases: parse → sharded
+// disassembly → match → S1 reverse-order patching with trampoline
+// allocation. The input slice is never written; private selects whether
+// the parsed file gets its own copy of the bytes (required only when
+// the caller will materialize in place afterwards, i.e. rewriteLegacy —
+// the plan-only path reads the input and nothing else).
+func runPlanPipeline(ctx context.Context, input []byte, cfg Config, private bool) (*planPipeline, error) {
+	if cfg.Select == nil {
+		return nil, errors.New("e9patch: Config.Select is required")
+	}
+	st, err := openPipeline(ctx, input, &cfg, private)
+	if err != nil {
+		return nil, err
+	}
+
+	// Match phase: run the selector over the disassembly, sharded when
+	// the selector is registered as per-instruction pure.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	selected := parallelSelect(cfg.Select, st.insts, st.width, cfg.Pool)
+	if lim := cfg.Limits; lim.MaxPatchSites > 0 && len(selected) > lim.MaxPatchSites {
+		return nil, e9err.Limit("match", e9err.ReasonTooManySites,
+			"e9patch: selector chose %d patch sites, limit is %d", len(selected), lim.MaxPatchSites)
+	}
+	warnings := diagnoseSelection(cfg.Select, st.insts, selected, st.bias)
+
+	rw, inject, err := finishPlanPhase(ctx, st, &cfg, selected, false)
+	if err != nil {
+		return nil, err
+	}
 	return &planPipeline{
-		f:        f,
-		bias:     bias,
-		textAddr: textAddr,
-		textLen:  len(text),
+		f:        st.f,
+		bias:     st.bias,
+		textAddr: st.textAddr,
+		textLen:  len(st.text),
 		rw:       rw,
-		insts:    len(dres.Insts),
-		badBytes: dres.BadBytes,
+		insts:    len(st.insts),
+		badBytes: st.badBytes,
 		warnings: warnings,
 		gran:     cfg.Granularity,
 		inject:   inject,
 	}, nil
 }
 
-// materialize is the shared emit tail: write the patched text strictly
-// in place, group trampolines into merged physical blocks (addresses
-// stored link-relative so the loader can apply any bias), encode the
-// loader blob and append it without moving a byte of the original.
-func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.Trampoline, sig map[uint64]uint64, gran int, inject []plan.Injection) ([]byte, *group.Result, error) {
-	if err := f.PatchBytes(textAddr, code); err != nil {
-		return nil, nil, err
-	}
+// buildBlob is the emit core shared by every materialization path:
+// group trampolines and injections into merged physical blocks
+// (addresses stored link-relative so the loader can apply any bias) and
+// encode the loader blob. entry is the output binary's entry point.
+func buildBlob(entry, bias uint64, trs []patch.Trampoline, sig map[uint64]uint64, gran int, inject []plan.Injection) ([]byte, *group.Result, error) {
 	chunks := make([]group.Chunk, len(trs), len(trs)+len(inject))
 	for i, tr := range trs {
 		chunks[i] = group.Chunk{Addr: tr.Addr - bias, Data: tr.Code}
@@ -683,8 +751,35 @@ func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.
 	for k, v := range sig {
 		shifted[k-bias] = v - bias
 	}
-	blob := loader.Encode(gres, gran, shifted, f.Header.Entry)
+	return loader.Encode(gres, gran, shifted, entry), gres, nil
+}
+
+// materialize is the in-place emit tail: write the patched text into
+// the (privately copied) file image, then append the loader blob
+// without moving a byte of the original.
+func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.Trampoline, sig map[uint64]uint64, gran int, inject []plan.Injection) ([]byte, *group.Result, error) {
+	if err := f.PatchBytes(textAddr, code); err != nil {
+		return nil, nil, err
+	}
+	blob, gres, err := buildBlob(f.Header.Entry, bias, trs, sig, gran, inject)
+	if err != nil {
+		return nil, nil, err
+	}
 	return elf64.Append(f.Data, blob), gres, nil
+}
+
+// materializeCompose is the zero-copy emit tail: it never writes to the
+// parsed file, instead composing the output in a single allocation from
+// the original bytes, the patched text image and the loader blob —
+// byte-identical to materialize. input must be the exact bytes f was
+// parsed from (it may be a read-only mmap view), and code overlays
+// .text at textOff as validated by TextRange.
+func materializeCompose(input []byte, f *elf64.File, bias, textOff uint64, code []byte, trs []patch.Trampoline, sig map[uint64]uint64, gran int, inject []plan.Injection) ([]byte, *group.Result, error) {
+	blob, gres, err := buildBlob(f.Header.Entry, bias, trs, sig, gran, inject)
+	if err != nil {
+		return nil, nil, err
+	}
+	return elf64.Compose(input, textOff, code, blob), gres, nil
 }
 
 // rewriteLegacy is the pre-split monolithic pipeline: decide and
@@ -694,7 +789,7 @@ func materialize(f *elf64.File, bias, textAddr uint64, code []byte, trs []patch.
 // with the same recovery boundary as the split phases.
 func rewriteLegacy(ctx context.Context, input []byte, cfg Config) (_ *Result, err error) {
 	defer e9err.Recover("rewrite", &err)
-	st, err := runPlanPipeline(ctx, input, cfg)
+	st, err := runPlanPipeline(ctx, input, cfg, true)
 	if err != nil {
 		return nil, err
 	}

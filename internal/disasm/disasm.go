@@ -34,12 +34,24 @@ const cancelStride = 1 << 12
 
 // LinearCancel is Linear with cooperative cancellation: once cancel is
 // closed the sweep stops within a few thousand instructions and
-// reports ok=false with the partial result. A nil cancel never stops
-// early. Decoder stalls (a decoded instruction of non-positive length)
-// are treated as undecodable bytes so a hostile input can never pin
-// the sweep in place.
+// reports ok=false with a partial (possibly empty) result the caller
+// must discard. A nil cancel never stops early. Decoder stalls (a
+// decoded instruction of non-positive length) are treated as
+// undecodable bytes so a hostile input can never pin the sweep in
+// place.
+//
+// The sweep runs twice: a counting pass sizes the result exactly, then
+// a fill pass decodes into the single allocation. Growing a
+// browser-class instruction array by append instead costs several
+// times the final size in regrowth copies — the x86.Inst element is
+// large enough that those transients dominated the whole rewrite's
+// allocation profile — while the second decode pass is pure cache-hot
+// CPU. The count is taken from the input itself, so a hostile section
+// (all padding, all data) can never bait an oversized allocation the
+// way a capacity heuristic could.
 func LinearCancel(code []byte, addr uint64, cancel <-chan struct{}) (res Result, ok bool) {
 	steps := 0
+	n := 0
 	for off := 0; off < len(code); {
 		if cancel != nil && steps&(cancelStride-1) == 0 {
 			select {
@@ -52,6 +64,27 @@ func LinearCancel(code []byte, addr uint64, cancel <-chan struct{}) (res Result,
 		inst, err := x86.Decode(code[off:], addr+uint64(off))
 		if err != nil || inst.Len <= 0 {
 			res.BadBytes++
+			off++
+			continue
+		}
+		n++
+		off += inst.Len
+	}
+	if n == 0 {
+		return res, true
+	}
+	res.Insts = make([]x86.Inst, 0, n)
+	for off := 0; off < len(code); {
+		if cancel != nil && steps&(cancelStride-1) == 0 {
+			select {
+			case <-cancel:
+				return res, false
+			default:
+			}
+		}
+		steps++
+		inst, err := x86.Decode(code[off:], addr+uint64(off))
+		if err != nil || inst.Len <= 0 {
 			off++
 			continue
 		}

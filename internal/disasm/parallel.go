@@ -94,8 +94,16 @@ func ParallelCancel(code []byte, addr uint64, width int, pool *work.Pool, cancel
 	}
 
 	// Stitch: cursor is always the offset the sequential sweep would
-	// be at after emitting everything appended so far.
+	// be at after emitting everything appended so far. The shard counts
+	// bound the stitched total (seam repair re-decodes positions the
+	// shards already visited, it never adds new ones), so one exact-fit
+	// allocation replaces append regrowth over a browser-class array.
 	var res Result
+	total := 0
+	for i := range shards {
+		total += len(shards[i].insts)
+	}
+	res.Insts = make([]x86.Inst, 0, total)
 	cursor := 0
 	for i := 0; i < nsh; i++ {
 		sh := &shards[i]

@@ -53,6 +53,10 @@ const (
 	ReasonTrampolineBudget = "trampoline-budget"
 	ReasonPhaseDeadline    = "phase-deadline"
 
+	// ReasonMessageTooLarge labels oversized protocol messages rejected
+	// by the JSON-RPC decoder (internal/rpc) before any parsing.
+	ReasonMessageTooLarge = "message-too-large"
+
 	// ReasonBadSpec labels ErrBadSpec rejections in metrics. The error's
 	// Reason string appends the source position ("bad-spec:LINE:COL") so
 	// position info survives even contexts that only keep the reason.

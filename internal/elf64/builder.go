@@ -217,6 +217,26 @@ func Append(file, blob []byte) []byte {
 	return out
 }
 
+// Compose is Append for the zero-copy paths: it produces the same
+// bytes as mutating file's text section in place (PatchBytes) and then
+// appending blob, but in a single output allocation and without ever
+// writing to file — so file may be a read-only mmap view shared with
+// the kernel page cache. code overlays the file at textOff; the caller
+// guarantees textOff+len(code) lies inside the file (the parser's
+// TextRange already validated it).
+func Compose(file []byte, textOff uint64, code, blob []byte) []byte {
+	off := alignUp(uint64(len(file)), PageSize)
+	out := make([]byte, off+uint64(len(blob))+24)
+	copy(out, file)
+	copy(out[textOff:], code)
+	copy(out[off:], blob)
+	tr := out[off+uint64(len(blob)):]
+	copy(tr, trailerMagic)
+	le.PutUint64(tr[8:], off)
+	le.PutUint64(tr[16:], uint64(len(blob)))
+	return out
+}
+
 // AppendedBlob extracts the blob attached by Append, if present.
 func AppendedBlob(file []byte) ([]byte, bool) {
 	if len(file) < 24 {

@@ -262,14 +262,26 @@ func (f *File) SectionByName(name string) (*Section, bool) {
 
 // Text returns the .text section contents and virtual address.
 func (f *File) Text() (data []byte, addr uint64, err error) {
+	off, addr, size, err := f.TextRange()
+	if err != nil {
+		return nil, 0, err
+	}
+	return f.Data[off : off+size], addr, nil
+}
+
+// TextRange returns the file offset, virtual address and size of the
+// .text section, validated against the file bounds. Callers that must
+// not mutate f.Data (the zero-copy paths) use the offset to overlay a
+// patched text image while composing the output.
+func (f *File) TextRange() (off, addr, size uint64, err error) {
 	s, ok := f.SectionByName(".text")
 	if !ok {
-		return nil, 0, e9err.Unsupported("parse", "elf64: no .text section")
+		return 0, 0, 0, e9err.Unsupported("parse", "elf64: no .text section")
 	}
 	if !spanInside(s.Off, s.Size, uint64(len(f.Data))) {
-		return nil, 0, fmt.Errorf("%w: .text [%#x,+%#x) overruns file", ErrTruncated, s.Off, s.Size)
+		return 0, 0, 0, fmt.Errorf("%w: .text [%#x,+%#x) overruns file", ErrTruncated, s.Off, s.Size)
 	}
-	return f.Data[s.Off : s.Off+s.Size], s.Addr, nil
+	return s.Off, s.Addr, s.Size, nil
 }
 
 // IsPIE reports whether the file is position independent (ET_DYN).

@@ -1,0 +1,77 @@
+package elf64
+
+import (
+	"fmt"
+	"os"
+
+	"e9patch/internal/e9err"
+)
+
+// Input is a binary loaded for rewriting with zero-copy intent: on
+// platforms with mmap support the file is mapped read-only and Data
+// aliases the mapping, so a browser-class input never lands on the Go
+// heap at all. When mapping is unavailable (or fails — network
+// filesystems, exotic mounts) the portable fallback reads the file
+// into memory; both paths yield byte-identical Data, which the
+// differential tests assert across the hostile corpus.
+//
+// The rewrite pipeline never mutates its input (the immutability tests
+// cover this), so a read-only shared mapping is safe to hand to Plan,
+// Apply, Rewrite and Stream directly.
+type Input struct {
+	// Data is the file contents: an mmap view or a heap copy.
+	Data []byte
+	// Mapped reports whether Data is an mmap view (false: heap).
+	Mapped bool
+
+	mapping []byte // the exact slice to unmap, when Mapped
+}
+
+// disableMmap forces the portable read path; the fallback differential
+// tests flip it to simulate mmap failure.
+var disableMmap = false
+
+// SetMmapDisabledForTesting forces (or restores) the portable read
+// path and returns the previous setting. Test-only.
+func SetMmapDisabledForTesting(disabled bool) (prev bool) {
+	prev = disableMmap
+	disableMmap = disabled
+	return prev
+}
+
+// OpenInput loads path for rewriting, preferring a read-only mmap view
+// and falling back to a plain read. Errors opening or reading the file
+// are classified as malformed input (the caller named a file we cannot
+// load); mmap failure alone is not an error — it selects the fallback.
+func OpenInput(path string) (*Input, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, e9err.Wrap(e9err.ErrMalformed, "parse", fmt.Errorf("elf64: open input: %w", err))
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, e9err.Wrap(e9err.ErrMalformed, "parse", fmt.Errorf("elf64: stat input: %w", err))
+	}
+	if st.Size() > 0 && !disableMmap {
+		if m, err := mmapFile(f, st.Size()); err == nil {
+			return &Input{Data: m, Mapped: true, mapping: m}, nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, e9err.Wrap(e9err.ErrMalformed, "parse", fmt.Errorf("elf64: read input: %w", err))
+	}
+	return &Input{Data: data}, nil
+}
+
+// Close releases the mapping, if any. Data must not be used after
+// Close. Safe on the fallback path and on a nil receiver.
+func (in *Input) Close() error {
+	if in == nil || !in.Mapped {
+		return nil
+	}
+	m := in.mapping
+	in.Data, in.mapping, in.Mapped = nil, nil, false
+	return munmapFile(m)
+}

@@ -1,0 +1,16 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package elf64
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap selects the portable read path on platforms without a
+// wired-up mmap implementation.
+var errNoMmap = errors.New("elf64: mmap unavailable on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(m []byte) error { return nil }

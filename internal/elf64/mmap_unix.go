@@ -1,0 +1,20 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package elf64
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: the kernel pages
+// the file in on demand and the bytes never occupy the Go heap.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if int64(int(size)) != size {
+		return nil, syscall.EOVERFLOW
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping made by mmapFile.
+func munmapFile(m []byte) error { return syscall.Munmap(m) }

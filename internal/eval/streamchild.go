@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"syscall"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/elf64"
+	"e9patch/internal/workload"
+)
+
+// streamChildEnv carries the child-mode request: peak RSS is a
+// per-process kernel counter, so each rewrite path must run in its own
+// process to be measured without the other path's allocator history.
+const streamChildEnv = "E9_STREAM_CHILD"
+
+// streamChildSpec is the JSON request in the environment variable.
+type streamChildSpec struct {
+	Mode   string `json:"mode"` // "buffered" or "stream"
+	Path   string `json:"path"`
+	TextMB int    `json:"textMB"`
+}
+
+// streamChildReport is the child's JSON reply on stdout. Peak RSS is
+// not in here — the parent reads it from the kernel via getrusage.
+type streamChildReport struct {
+	SHA256     string  `json:"sha256"`
+	OutputSize int     `json:"outputSize"`
+	Insts      int     `json:"insts"`
+	Locations  int     `json:"locations"`
+	Mmapped    bool    `json:"mmapped"`
+	Allocs     uint64  `json:"allocs"`    // Mallocs delta across the rewrite
+	HeapBytes  uint64  `json:"heapBytes"` // TotalAlloc delta across the rewrite
+	Seconds    float64 `json:"seconds"`
+}
+
+// streamCfg is the rewrite configuration both paths and both processes
+// share for the streaming workload.
+func streamCfg(textMB int) e9patch.Config {
+	return e9patch.Config{
+		Select:     e9patch.SelectJumps,
+		SkipPrefix: workload.StreamSkipPrefix(textMB),
+		ReserveVA:  workload.ReserveVA(),
+	}
+}
+
+// MaybeStreamChild turns the current process into a stream-measurement
+// child when E9_STREAM_CHILD is set: it runs one rewrite path over the
+// named file, prints a JSON report and exits. Every binary that calls
+// MeasureStream must call this first thing (cmd/e9bench's main does,
+// and this package's TestMain does) so MeasureStream can re-exec the
+// running executable as its measurement child.
+func MaybeStreamChild() {
+	v := os.Getenv(streamChildEnv)
+	if v == "" {
+		return
+	}
+	var spec streamChildSpec
+	if err := json.Unmarshal([]byte(v), &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "stream child: bad spec: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := runStreamChild(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream child: %v\n", err)
+		os.Exit(1)
+	}
+	json.NewEncoder(os.Stdout).Encode(rep)
+	os.Exit(0)
+}
+
+func runStreamChild(spec streamChildSpec) (*streamChildReport, error) {
+	cfg := streamCfg(spec.TextMB)
+	rep := &streamChildReport{}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var res *e9patch.Result
+	switch spec.Mode {
+	case "buffered":
+		data, err := os.ReadFile(spec.Path)
+		if err != nil {
+			return nil, err
+		}
+		if res, err = e9patch.Rewrite(data, cfg); err != nil {
+			return nil, err
+		}
+	case "stream":
+		in, err := elf64.OpenInput(spec.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer in.Close()
+		rep.Mmapped = in.Mapped
+		st, err := e9patch.NewStream(context.Background(), in.Data, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res, err = st.Finish(context.Background()); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown mode %q", spec.Mode)
+	}
+
+	rep.Seconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	rep.Allocs = ms1.Mallocs - ms0.Mallocs
+	rep.HeapBytes = ms1.TotalAlloc - ms0.TotalAlloc
+	sum := sha256.Sum256(res.Output)
+	rep.SHA256 = hex.EncodeToString(sum[:])
+	rep.OutputSize = len(res.Output)
+	rep.Insts = res.Insts
+	rep.Locations = res.Stats.Total
+	return rep, nil
+}
+
+// runStreamPath re-execs the current executable as a measurement child
+// and returns its report plus the kernel's peak-RSS reading for the
+// whole child process.
+func runStreamPath(mode, path string, textMB int) (*streamChildReport, uint64, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, 0, err
+	}
+	spec, err := json.Marshal(streamChildSpec{Mode: mode, Path: path, TextMB: textMB})
+	if err != nil {
+		return nil, 0, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), streamChildEnv+"="+string(spec))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s child: %w", mode, err)
+	}
+	var rep streamChildReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		return nil, 0, fmt.Errorf("%s child: bad report %q: %v", mode, out, err)
+	}
+	ru, ok := cmd.ProcessState.SysUsage().(*syscall.Rusage)
+	if !ok {
+		return nil, 0, fmt.Errorf("%s child: peak RSS unavailable on this platform", mode)
+	}
+	// Linux reports ru_maxrss in kilobytes.
+	return &rep, uint64(ru.Maxrss) * 1024, nil
+}

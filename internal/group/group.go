@@ -71,20 +71,21 @@ type Result struct {
 // reasonable results for reasonable performance.
 const maxProbe = 128
 
+// piece is one chunk fragment that landed in a virtual block: an
+// offset plus a view into the caller's chunk data. Blocks stay sparse —
+// a browser-class rewrite occupies hundreds of thousands of virtual
+// blocks, and materializing a full blockSize image per virtual block
+// (rather than only per merged physical block, below) used to dominate
+// the emit phase's memory.
+type piece struct {
+	off  uint64
+	data []byte
+}
+
 type vblock struct {
 	vaddr  uint64 // block-aligned
 	bitmap []uint64
-	data   []byte
-	bytes  uint64
-}
-
-func (b *vblock) overlaps(other []uint64) bool {
-	for i, w := range b.bitmap {
-		if w&other[i] != 0 {
-			return true
-		}
-	}
-	return false
+	pieces []piece
 }
 
 // Build groups the chunks with the given granularity (pages per
@@ -95,7 +96,8 @@ func Build(chunks []Chunk, granularity int) (*Result, error) {
 	}
 	blockSize := uint64(granularity) * PageSize
 
-	// Slice chunks into per-block pieces and accumulate block images.
+	// Slice chunks into per-block pieces; images are deferred to the
+	// merged physical blocks.
 	blocks := make(map[uint64]*vblock)
 	var payload uint64
 	for _, c := range chunks {
@@ -114,7 +116,6 @@ func Build(chunks []Chunk, granularity int) (*Result, error) {
 				b = &vblock{
 					vaddr:  blockAddr,
 					bitmap: make([]uint64, (blockSize+63)/64),
-					data:   make([]byte, blockSize),
 				}
 				blocks[blockAddr] = b
 			}
@@ -126,8 +127,7 @@ func Build(chunks []Chunk, granularity int) (*Result, error) {
 				}
 				b.bitmap[w] |= 1 << bit
 			}
-			copy(b.data[off:off+n], data[:n])
-			b.bytes += n
+			b.pieces = append(b.pieces, piece{off: off, data: data[:n]})
 			data = data[n:]
 			addr += n
 		}
@@ -141,11 +141,22 @@ func Build(chunks []Chunk, granularity int) (*Result, error) {
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].vaddr < ordered[j].vaddr })
 
 	// Greedy partitioning: place each block into the first compatible
-	// group (bounded probing).
+	// group (bounded probing). Only groups — the merged physical blocks —
+	// carry a materialized image; virtual blocks write their pieces into
+	// it on placement.
 	type grp struct {
 		bitmap  []uint64
 		data    []byte
 		members []uint64 // vaddrs
+	}
+	place := func(g *grp, b *vblock) {
+		for _, p := range b.pieces {
+			copy(g.data[p.off:], p.data)
+		}
+		for i, w := range b.bitmap {
+			g.bitmap[i] |= w
+		}
+		g.members = append(g.members, b.vaddr)
 	}
 	// Probe the most recently opened groups: older groups fill up, so
 	// scanning from the front would degenerate into one group per
@@ -169,20 +180,17 @@ func Build(chunks []Chunk, granularity int) (*Result, error) {
 			if conflict {
 				continue
 			}
-			copyMasked(g.data, b.data, b.bitmap)
-			for i, w := range b.bitmap {
-				g.bitmap[i] |= w
-			}
-			g.members = append(g.members, b.vaddr)
+			place(g, b)
 			placed = true
 			break
 		}
 		if !placed {
 			g := &grp{
-				bitmap:  append([]uint64(nil), b.bitmap...),
-				data:    append([]byte(nil), b.data...),
-				members: []uint64{b.vaddr},
+				bitmap:  make([]uint64, len(b.bitmap)),
+				data:    make([]byte, blockSize),
+				members: make([]uint64, 0, 1),
 			}
+			place(g, b)
 			groups = append(groups, g)
 		}
 	}
@@ -204,19 +212,4 @@ func Build(chunks []Chunk, granularity int) (*Result, error) {
 	}
 	sort.Slice(res.Mappings, func(i, j int) bool { return res.Mappings[i].Vaddr < res.Mappings[j].Vaddr })
 	return res, nil
-}
-
-// copyMasked copies src bytes covered by bitmap into dst.
-func copyMasked(dst, src []byte, bitmap []uint64) {
-	for w, word := range bitmap {
-		if word == 0 {
-			continue
-		}
-		base := w * 64
-		for bit := 0; bit < 64; bit++ {
-			if word&(1<<uint(bit)) != 0 {
-				dst[base+bit] = src[base+bit]
-			}
-		}
-	}
 }

@@ -13,12 +13,19 @@ import "e9patch/internal/plan"
 
 // beginSite opens the plan record for one patch location; endSite
 // seals it with the tactic outcome. Everything committed in between is
-// attributed to this site.
+// attributed to this site. With Options.SkipPlan no record is opened,
+// and every recording site below already guards on r.cur.
 func (r *Rewriter) beginSite(addr uint64) {
+	if r.opts.SkipPlan {
+		return
+	}
 	r.cur = &plan.Site{Addr: addr}
 }
 
 func (r *Rewriter) endSite(tactic Tactic) {
+	if r.cur == nil {
+		return
+	}
 	r.cur.Tactic = tactic.String()
 	r.sites = append(r.sites, *r.cur)
 	r.cur = nil

@@ -16,7 +16,7 @@ import "e9patch/internal/x86"
 // become the high (most constrained) bytes of the patch jump's rel32.
 func (r *Rewriter) trySuccessorEviction(inst *x86.Inst) bool {
 	succAddr := inst.Addr + uint64(inst.Len)
-	sIdx, ok := r.byAddr[succAddr]
+	sIdx, ok := r.instAt(succAddr)
 	if !ok {
 		return false
 	}
@@ -156,7 +156,7 @@ func (r *Rewriter) tryNeighbourEviction(inst *x86.Inst) bool {
 	if !r.inText(inst.Addr, 2) || r.anyLocked(inst.Addr, minI(inst.Len, 2)) {
 		return false
 	}
-	idx, ok := r.byAddr[inst.Addr]
+	idx, ok := r.instAt(inst.Addr)
 	if !ok {
 		return false
 	}

@@ -167,7 +167,6 @@ func (r *Rewriter) child(space *va.Space, ar *arena, hint uint64, speculating bo
 		code:        r.code,
 		textAddr:    r.textAddr,
 		insts:       r.insts,
-		byAddr:      r.byAddr,
 		locked:      r.locked,
 		space:       space,
 		opts:        r.opts,

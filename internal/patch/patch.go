@@ -117,6 +117,12 @@ type Options struct {
 	// resource-limit error instead of letting a hostile selection
 	// allocate without bound.
 	TrampolineBudget int64
+	// SkipPlan disables the per-location plan record (Sites returns
+	// nil). Consumers that materialize directly from the live rewriter —
+	// the streaming session — never read the record, and on
+	// browser-class inputs the duplicated write and trampoline bytes it
+	// holds are a significant fraction of peak memory.
+	SkipPlan bool
 }
 
 // Trampoline is one emitted trampoline.
@@ -175,7 +181,6 @@ type Rewriter struct {
 	code     []byte
 	textAddr uint64
 	insts    []x86.Inst
-	byAddr   map[uint64]int
 	locked   []bool
 	space    *va.Space
 	opts     Options
@@ -226,15 +231,10 @@ func New(code []byte, textAddr uint64, insts []x86.Inst, space *va.Space, poolHi
 	}
 	mutable := make([]byte, len(code))
 	copy(mutable, code)
-	byAddr := make(map[uint64]int, len(insts))
-	for i := range insts {
-		byAddr[insts[i].Addr] = i
-	}
 	return &Rewriter{
 		code:     mutable,
 		textAddr: textAddr,
 		insts:    insts,
-		byAddr:   byAddr,
 		locked:   make([]bool, len(code)),
 		space:    space,
 		opts:     opts,
@@ -269,6 +269,19 @@ func (r *Rewriter) LimitExceeded() bool { return r.limited }
 
 // off converts a text virtual address to a byte offset.
 func (r *Rewriter) off(addr uint64) int { return int(addr - r.textAddr) }
+
+// instAt returns the index of the instruction starting exactly at addr.
+// The linear disassembly is address-ascending, so a binary search
+// serves exact-address lookups without the map[uint64]int it replaced —
+// on browser-class inputs that map cost ~40 bytes of heap per
+// instruction (a gigabyte at 25M instructions) for two lookup sites.
+func (r *Rewriter) instAt(addr uint64) (int, bool) {
+	i := sort.Search(len(r.insts), func(i int) bool { return r.insts[i].Addr >= addr })
+	if i < len(r.insts) && r.insts[i].Addr == addr {
+		return i, true
+	}
+	return 0, false
+}
 
 // inText reports whether [addr, addr+n) lies inside the text section.
 func (r *Rewriter) inText(addr uint64, n int) bool {

@@ -1,0 +1,90 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"e9patch"
+)
+
+// FuzzRPCSession throws arbitrary byte streams at a full protocol
+// session under tight resource caps. The invariant is the backend
+// contract: any stream either completes or returns a classified error —
+// never a panic, never an unbounded allocation, and file paths stay
+// rejected. Seeds cover the golden grammar (inline, framed, options,
+// reserves) plus each abuse shape so the mutator starts near the
+// interesting surface.
+func FuzzRPCSession(f *testing.F) {
+	bin := testBin(f)
+	b64 := base64.StdEncoding.EncodeToString(bin)
+
+	f.Add([]byte(fmt.Sprintf(`{"jsonrpc":"2.0","method":"binary","params":{"data":%q},"id":1}
+{"jsonrpc":"2.0","method":"patch","params":{"app":"jumps"},"id":2}
+{"jsonrpc":"2.0","method":"emit","id":3}
+`, b64)))
+	var framed bytes.Buffer
+	fmt.Fprintf(&framed, `{"method":"option","params":{"forceB0":true}}`+"\n")
+	fmt.Fprintf(&framed, `{"method":"reserve","params":{"ranges":[{"lo":"0x700000000000","hi":"0x700000001000"}]}}`+"\n")
+	fmt.Fprintf(&framed, `{"method":"binary","params":{"size":%d}}`+"\n", len(bin))
+	framed.Write(bin)
+	framed.WriteByte('\n')
+	fmt.Fprintf(&framed, `{"method":"patch","params":{"addrs":["0x401005",4198406]},"id":1}`+"\n")
+	fmt.Fprintf(&framed, `{"method":"emit","id":2}`+"\n")
+	f.Add(framed.Bytes())
+	f.Add([]byte(`{"method":"patch","params":{"app":"jumps"}}`))
+	f.Add([]byte(`{"method":"emit"}` + "\n" + `{"method":"emit"}`))
+	f.Add([]byte(`{"method":"binary","params":{"size":999999}}` + "\nxx"))
+	f.Add([]byte(`{"method":"binary","params":{"filename":"/etc/passwd"}}`))
+	f.Add([]byte(`{"method":"option","params":{"granularity":-1}}`))
+	f.Add([]byte("\n\n\n{\"method\":"))
+
+	opts := Options{
+		MaxMessageBytes: 1 << 16,
+		MaxBinaryBytes:  1 << 20,
+	}
+	opts.Base.Limits.MaxInputBytes = 1 << 20
+	opts.Base.Limits.MaxPatchSites = 1 << 12
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		err := Serve(context.Background(), bytes.NewReader(stream), io.Discard, opts)
+		if err == nil {
+			return
+		}
+		// Whatever the stream was, the failure must be classified and
+		// must carry a non-internal JSON-RPC code unless it really was a
+		// contained panic (which the recovery boundary marks).
+		code := CodeFor(err)
+		if code == CodeInternal {
+			if !strings.Contains(err.Error(), "recovered panic") {
+				t.Fatalf("unclassified failure: %v", err)
+			}
+			t.Fatalf("panic escaped into the error path: %v", err)
+		}
+	})
+}
+
+// TestFuzzSeedsPass replays the seed corpus directly so `go test`
+// exercises the fuzz invariant without -fuzz.
+func TestFuzzSeedsPass(t *testing.T) {
+	bin := testBin(t)
+	stream := fmt.Sprintf(`{"method":"binary","params":{"data":%q}}
+{"method":"patch","params":{"app":"heapwrites"}}
+{"method":"emit","id":9}
+`, base64.StdEncoding.EncodeToString(bin))
+	transcript, err := serveString(t, stream, Options{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, transcript)
+	}
+	want, err := e9patch.Rewrite(bin, e9patch.Config{Select: e9patch.SelectHeapWrites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(transcript, fmt.Sprintf(`"outputSize":%d`, want.OutputSize)) {
+		t.Fatalf("emit response does not report the expected output size %d: %s", want.OutputSize, transcript)
+	}
+}

@@ -1,0 +1,259 @@
+// Package rpc implements the rewriter's E9Patch-style JSON-RPC driving
+// protocol: a line-delimited stream of messages that opens a binary,
+// accumulates patch selections and options incrementally, and emits
+// the rewritten output. The protocol is how frontends in any language
+// drive the backend — cmd/e9patch reads it from stdin, and e9served's
+// /v2/rewrite endpoint reads the same stream from a chunked request
+// body — while the backend itself does minimal parsing and no analysis,
+// exactly the E9Patch frontend/backend split.
+//
+// A session is the message sequence
+//
+//	option*  binary  (patch | reserve)*  emit
+//
+// over a single binary. Messages are JSON-RPC 2.0 objects, one per
+// line; requests carrying an "id" receive a response line, id-less
+// notifications do not. As in E9Patch, numbers may be written either
+// as JSON numbers or as hexadecimal strings: "address": 4245300 and
+// "address": "0x40c734" are equivalent, and the string form represents
+// the full 64-bit range losslessly.
+//
+// The decoder enforces hostile-input caps (message length, binary
+// payload size) before any parsing, and every failure is a classified
+// e9err error — malformed streams and out-of-order messages can end a
+// session but never panic the process.
+package rpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"e9patch/internal/e9err"
+)
+
+// DefaultMaxMessageBytes caps one protocol line when Options leaves
+// MaxMessageBytes zero. Patch messages batch at most a few thousand
+// addresses in practice; 4 MiB leaves two orders of magnitude of slack.
+const DefaultMaxMessageBytes = 4 << 20
+
+// Uint64 is a uint64 that accepts the protocol's number extension:
+// either a JSON number or a string in any Go literal base, so
+// "0x40c734" and 4245300 decode identically and values above 2^53
+// survive frontends that route numbers through floats.
+type Uint64 uint64
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (u *Uint64) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if strings.HasPrefix(s, "\"") {
+		var str string
+		if err := json.Unmarshal(b, &str); err != nil {
+			return err
+		}
+		v, err := strconv.ParseUint(str, 0, 64)
+		if err != nil {
+			return fmt.Errorf("rpc: bad number string %q", str)
+		}
+		*u = Uint64(v)
+		return nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("rpc: bad number %s", s)
+	}
+	*u = Uint64(v)
+	return nil
+}
+
+// MarshalJSON renders values that exceed 2^53 as hex strings so
+// float-based JSON readers cannot corrupt them, and plain numbers
+// otherwise.
+func (u Uint64) MarshalJSON() ([]byte, error) {
+	if u > 1<<53 {
+		return json.Marshal(fmt.Sprintf("%#x", uint64(u)))
+	}
+	return json.Marshal(uint64(u))
+}
+
+// Message is one protocol message: a JSON-RPC 2.0 request or
+// notification.
+type Message struct {
+	JSONRPC string          `json:"jsonrpc,omitempty"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params,omitempty"`
+	ID      json.RawMessage `json:"id,omitempty"`
+}
+
+// wantsReply reports whether the message is a request (carries a
+// non-null id) rather than a notification.
+func (m *Message) wantsReply() bool {
+	id := strings.TrimSpace(string(m.ID))
+	return id != "" && id != "null"
+}
+
+// Error is the JSON-RPC error object carried by failure responses.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// JSON-RPC 2.0 error codes, plus implementation-defined codes (the
+// -320xx range) mapping the e9err taxonomy onto the wire.
+const (
+	CodeParse          = -32700
+	CodeInvalidRequest = -32600
+	CodeMethodNotFound = -32601
+	CodeInvalidParams  = -32602
+	CodeMalformed      = -32000
+	CodeUnsupported    = -32001
+	CodeResourceLimit  = -32002
+	CodeInternal       = -32003
+	CodeBadSpec        = -32004
+)
+
+// reasonUnknownMethod tags unknown-method errors so CodeFor can map
+// them to the standard -32601 instead of the generic unsupported code.
+const reasonUnknownMethod = "unknown-method"
+
+// CodeFor maps a classified error onto its JSON-RPC error code.
+func CodeFor(err error) int {
+	var e *e9err.Error
+	if errors.As(err, &e) && e.Reason == reasonUnknownMethod {
+		return CodeMethodNotFound
+	}
+	switch {
+	case errors.Is(err, e9err.ErrResourceLimit):
+		return CodeResourceLimit
+	case errors.Is(err, e9err.ErrUnsupported):
+		return CodeUnsupported
+	case errors.Is(err, e9err.ErrBadSpec):
+		return CodeBadSpec
+	case errors.Is(err, e9err.ErrMalformed):
+		return CodeMalformed
+	default:
+		return CodeInternal
+	}
+}
+
+// response is one reply line.
+type response struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  any             `json:"result,omitempty"`
+	Error   *Error          `json:"error,omitempty"`
+}
+
+// Decoder reads the line-delimited message stream, enforcing the
+// message-size cap before any JSON parsing, and hands out the raw
+// binary payload that follows a size-framed binary message.
+type Decoder struct {
+	r   *bufio.Reader
+	max int
+}
+
+// NewDecoder wraps r; maxMessage <= 0 selects DefaultMaxMessageBytes.
+func NewDecoder(r io.Reader, maxMessage int) *Decoder {
+	if maxMessage <= 0 {
+		maxMessage = DefaultMaxMessageBytes
+	}
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10), max: maxMessage}
+}
+
+// readLine accumulates one line up to the cap. It returns io.EOF only
+// with no bytes read; a final line without a trailing newline is
+// returned intact.
+func (d *Decoder) readLine() ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := d.r.ReadSlice('\n')
+		if len(line)+len(chunk) > d.max {
+			return nil, e9err.Limit("rpc", e9err.ReasonMessageTooLarge,
+				"rpc: message exceeds the %d-byte cap", d.max)
+		}
+		line = append(line, chunk...)
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(line) == 0 {
+				return nil, io.EOF
+			}
+			return line, nil
+		default:
+			return nil, e9err.Wrap(e9err.ErrMalformed, "rpc", err)
+		}
+	}
+}
+
+// Next returns the next message, skipping blank lines. It returns
+// io.EOF at a clean end of stream; any other failure is classified.
+func (d *Decoder) Next() (*Message, error) {
+	for {
+		line, err := d.readLine()
+		if err != nil {
+			return nil, err
+		}
+		trimmed := strings.TrimSpace(string(line))
+		if trimmed == "" {
+			continue
+		}
+		var m Message
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		if err := dec.Decode(&m); err != nil {
+			return nil, e9err.Malformed("rpc", "rpc: bad message: %v", err)
+		}
+		if dec.More() {
+			return nil, e9err.Malformed("rpc", "rpc: trailing content after message object")
+		}
+		if m.JSONRPC != "" && m.JSONRPC != "2.0" {
+			return nil, e9err.Unsupported("rpc", "rpc: unsupported jsonrpc version %q", m.JSONRPC)
+		}
+		if m.Method == "" {
+			return nil, e9err.Malformed("rpc", "rpc: message without method")
+		}
+		return &m, nil
+	}
+}
+
+// ReadBinary consumes exactly n raw bytes — the payload following a
+// size-framed binary message — plus the single newline that terminates
+// the frame. A stream ending inside the payload is a malformed one.
+func (d *Decoder) ReadBinary(n int64) ([]byte, error) {
+	buf := make([]byte, n)
+	if got, err := io.ReadFull(d.r, buf); err != nil {
+		return nil, e9err.Malformed("rpc", "rpc: binary payload truncated at %d of %d bytes", got, n)
+	}
+	// The frame's trailing newline keeps the next message on its own
+	// line; accept a bare EOF too so `binary` can be the last frame of
+	// a probe stream.
+	if b, err := d.r.ReadByte(); err == nil && b != '\n' {
+		return nil, e9err.Malformed("rpc", "rpc: binary payload not newline-terminated (got %#x)", b)
+	}
+	return buf, nil
+}
+
+// WriteResult writes a success response for msg to w.
+func WriteResult(w io.Writer, msg *Message, result any) error {
+	return json.NewEncoder(w).Encode(response{JSONRPC: "2.0", ID: msg.ID, Result: result})
+}
+
+// WriteError writes an error response to w. A nil msg (decode failure
+// before any message existed) gets a null id.
+func WriteError(w io.Writer, msg *Message, err error) error {
+	id := json.RawMessage("null")
+	if msg != nil && len(msg.ID) > 0 {
+		id = msg.ID
+	}
+	return json.NewEncoder(w).Encode(response{
+		JSONRPC: "2.0",
+		ID:      id,
+		Error:   &Error{Code: CodeFor(err), Message: err.Error()},
+	})
+}

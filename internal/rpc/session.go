@@ -1,0 +1,385 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+
+	"e9patch"
+	"e9patch/internal/e9err"
+	"e9patch/internal/elf64"
+	"e9patch/internal/trampoline"
+)
+
+// Options configures a protocol session.
+type Options struct {
+	// AllowPath permits messages that name filesystem paths (binary
+	// {"filename"} and emit {"output"}). The CLI backend sets it; the
+	// network server must not.
+	AllowPath bool
+	// MaxMessageBytes caps one protocol line (0: DefaultMaxMessageBytes).
+	MaxMessageBytes int
+	// MaxBinaryBytes caps an inline or size-framed binary payload
+	// (0: only the pipeline's own Limits.MaxInputBytes applies).
+	MaxBinaryBytes int64
+	// Base is the rewrite configuration the session starts from; option
+	// messages refine it before the binary opens. Its Select field is
+	// ignored — selections arrive as patch messages.
+	Base e9patch.Config
+}
+
+// state is the session position in the option* binary (patch|reserve)*
+// emit grammar.
+type state int
+
+const (
+	stateStart state = iota // before binary
+	stateOpen               // binary received, accepting patch/reserve
+	stateDone               // emit completed
+)
+
+// Session is the protocol state machine. It owns at most one input
+// binary (possibly an mmap view) and one incremental rewrite stream,
+// and is driven one message at a time by Serve or by the HTTP layer.
+// A Session is not safe for concurrent use.
+type Session struct {
+	opts   Options
+	cfg    e9patch.Config
+	state  state
+	input  *elf64.Input // owned mmap/file input, when opened by path
+	stream *e9patch.Stream
+	res    *e9patch.Result
+}
+
+// NewSession starts a session in the initial state.
+func NewSession(opts Options) *Session {
+	cfg := opts.Base
+	cfg.Select = nil
+	return &Session{opts: opts, cfg: cfg}
+}
+
+// Done reports whether the session has emitted.
+func (s *Session) Done() bool { return s.state == stateDone }
+
+// Result returns the rewrite outcome after a successful emit.
+func (s *Session) Result() *e9patch.Result { return s.res }
+
+// Close releases the session's input mapping, if any. Safe to call at
+// any point and more than once.
+func (s *Session) Close() error {
+	in := s.input
+	s.input = nil
+	if in != nil {
+		return in.Close()
+	}
+	return nil
+}
+
+// decodeParams strictly parses msg.Params into dst: unknown fields are
+// a protocol error, catching misspelled options instead of silently
+// ignoring them. A message without params decodes as all-defaults.
+func decodeParams(msg *Message, dst any) error {
+	if len(msg.Params) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(msg.Params)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return e9err.Malformed("rpc", "rpc: %s params: %v", msg.Method, err)
+	}
+	return nil
+}
+
+// Handle processes one message and returns the result object for its
+// response. d supplies the raw payload for size-framed binary messages
+// and may be nil when the transport cannot carry one. All failures are
+// classified e9err errors; a panic in the layers below is contained
+// here and surfaces as ErrInternal.
+func (s *Session) Handle(ctx context.Context, msg *Message, d *Decoder) (_ any, err error) {
+	defer e9err.Recover("rpc", &err)
+	if s.state == stateDone {
+		return nil, e9err.Malformed("rpc", "rpc: %q after emit: session is finished", msg.Method)
+	}
+	switch msg.Method {
+	case "option":
+		return s.handleOption(msg)
+	case "binary":
+		return s.handleBinary(ctx, msg, d)
+	case "reserve":
+		return s.handleReserve(msg)
+	case "patch":
+		return s.handlePatch(msg)
+	case "emit":
+		return s.handleEmit(ctx, msg)
+	default:
+		uerr := e9err.Unsupported("rpc", "rpc: unknown method %q", msg.Method)
+		uerr.Reason = reasonUnknownMethod
+		return nil, uerr
+	}
+}
+
+type optionParams struct {
+	Granularity *int    `json:"granularity"`
+	SkipPrefix  *Uint64 `json:"skipPrefix"`
+	Parallelism *int    `json:"parallelism"`
+	DisableT1   *bool   `json:"disableT1"`
+	DisableT2   *bool   `json:"disableT2"`
+	DisableT3   *bool   `json:"disableT3"`
+	B0Fallback  *bool   `json:"b0Fallback"`
+	ForceB0     *bool   `json:"forceB0"`
+	Counter     *Uint64 `json:"counter"`
+}
+
+// handleOption refines the rewrite configuration. Options shape the
+// open phase (disassembly width, skip prefix) as well as the decision
+// phase, so the grammar requires them before the binary message.
+func (s *Session) handleOption(msg *Message) (any, error) {
+	if s.state != stateStart {
+		return nil, e9err.Malformed("rpc", "rpc: option after binary: options must precede the binary message")
+	}
+	var p optionParams
+	if err := decodeParams(msg, &p); err != nil {
+		return nil, err
+	}
+	if p.Granularity != nil {
+		s.cfg.Granularity = *p.Granularity
+	}
+	if p.SkipPrefix != nil {
+		s.cfg.SkipPrefix = uint64(*p.SkipPrefix)
+	}
+	if p.Parallelism != nil {
+		s.cfg.Parallelism = *p.Parallelism
+	}
+	if p.DisableT1 != nil {
+		s.cfg.Patch.DisableT1 = *p.DisableT1
+	}
+	if p.DisableT2 != nil {
+		s.cfg.Patch.DisableT2 = *p.DisableT2
+	}
+	if p.DisableT3 != nil {
+		s.cfg.Patch.DisableT3 = *p.DisableT3
+	}
+	if p.B0Fallback != nil {
+		s.cfg.Patch.B0Fallback = *p.B0Fallback
+	}
+	if p.ForceB0 != nil {
+		s.cfg.Patch.ForceB0 = *p.ForceB0
+	}
+	if p.Counter != nil {
+		s.cfg.Template = trampoline.Counter{Addr: uint64(*p.Counter)}
+	}
+	return map[string]any{"ok": true}, nil
+}
+
+type binaryParams struct {
+	Filename string  `json:"filename"`
+	Data     []byte  `json:"data"`
+	Size     *Uint64 `json:"size"`
+}
+
+// handleBinary opens the input binary — by path (mmap-backed, CLI
+// only), inline as base64, or as a size-framed raw payload following
+// the message line — and starts the incremental rewrite stream:
+// parsing and disassembly happen now, selections stream in afterwards.
+func (s *Session) handleBinary(ctx context.Context, msg *Message, d *Decoder) (any, error) {
+	if s.state != stateStart {
+		return nil, e9err.Malformed("rpc", "rpc: duplicate binary message")
+	}
+	var p binaryParams
+	if err := decodeParams(msg, &p); err != nil {
+		return nil, err
+	}
+	sources := 0
+	for _, have := range []bool{p.Filename != "", p.Data != nil, p.Size != nil} {
+		if have {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, e9err.Malformed("rpc", "rpc: binary needs exactly one of filename, data, size")
+	}
+
+	var data []byte
+	switch {
+	case p.Filename != "":
+		if !s.opts.AllowPath {
+			return nil, e9err.Unsupported("rpc", "rpc: filesystem paths are not allowed on this transport")
+		}
+		in, err := elf64.OpenInput(p.Filename)
+		if err != nil {
+			return nil, err
+		}
+		s.input = in
+		data = in.Data
+	case p.Data != nil:
+		if s.opts.MaxBinaryBytes > 0 && int64(len(p.Data)) > s.opts.MaxBinaryBytes {
+			return nil, e9err.Limit("rpc", e9err.ReasonInputTooLarge,
+				"rpc: inline binary is %d bytes, limit is %d", len(p.Data), s.opts.MaxBinaryBytes)
+		}
+		data = p.Data
+	default:
+		n := int64(*p.Size)
+		if s.opts.MaxBinaryBytes > 0 && n > s.opts.MaxBinaryBytes {
+			return nil, e9err.Limit("rpc", e9err.ReasonInputTooLarge,
+				"rpc: framed binary is %d bytes, limit is %d", n, s.opts.MaxBinaryBytes)
+		}
+		if d == nil {
+			return nil, e9err.Unsupported("rpc", "rpc: size-framed binary payloads are not supported on this transport")
+		}
+		var err error
+		if data, err = d.ReadBinary(n); err != nil {
+			return nil, err
+		}
+	}
+
+	stream, err := e9patch.NewStream(ctx, data, s.cfg)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.stream = stream
+	s.state = stateOpen
+	return map[string]any{
+		"size":     len(data),
+		"insts":    stream.Insts(),
+		"badBytes": stream.BadBytes(),
+	}, nil
+}
+
+type reserveParams struct {
+	Ranges []struct {
+		Lo Uint64 `json:"lo"`
+		Hi Uint64 `json:"hi"`
+	} `json:"ranges"`
+}
+
+// handleReserve marks [lo, hi) virtual-address ranges off limits for
+// trampoline placement; valid before or after the binary opens.
+func (s *Session) handleReserve(msg *Message) (any, error) {
+	var p reserveParams
+	if err := decodeParams(msg, &p); err != nil {
+		return nil, err
+	}
+	for _, r := range p.Ranges {
+		if r.Hi <= r.Lo {
+			return nil, e9err.Malformed("rpc", "rpc: empty reserve range [%#x,%#x)", uint64(r.Lo), uint64(r.Hi))
+		}
+		if s.state == stateOpen {
+			if err := s.stream.Reserve(uint64(r.Lo), uint64(r.Hi)); err != nil {
+				return nil, err
+			}
+		} else {
+			s.cfg.ReserveVA = append(s.cfg.ReserveVA, [2]uint64{uint64(r.Lo), uint64(r.Hi)})
+		}
+	}
+	return map[string]any{"ranges": len(p.Ranges)}, nil
+}
+
+type patchParams struct {
+	Addrs []Uint64 `json:"addrs"`
+	Match string   `json:"match"`
+	App   string   `json:"app"`
+}
+
+// handlePatch merges one batch of patch locations into the stream:
+// explicit runtime addresses, an E9Tool matcher expression, or a named
+// paper application. Sites accumulate as a union across messages; the
+// per-site resource limit is enforced incrementally, so a hostile
+// stream fails at the message that crosses it.
+func (s *Session) handlePatch(msg *Message) (any, error) {
+	if s.state != stateOpen {
+		return nil, e9err.Malformed("rpc", "rpc: patch before binary")
+	}
+	var p patchParams
+	if err := decodeParams(msg, &p); err != nil {
+		return nil, err
+	}
+	sources := 0
+	for _, have := range []bool{len(p.Addrs) > 0, p.Match != "", p.App != ""} {
+		if have {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, e9err.Malformed("rpc", "rpc: patch needs exactly one of addrs, match, app")
+	}
+
+	var added int
+	var err error
+	switch {
+	case len(p.Addrs) > 0:
+		addrs := make([]uint64, len(p.Addrs))
+		for i, a := range p.Addrs {
+			addrs[i] = uint64(a)
+		}
+		added, err = s.stream.SelectAddrs(addrs...)
+	case p.Match != "":
+		sel, cerr := e9patch.SelectMatch(p.Match)
+		if cerr != nil {
+			return nil, e9err.Wrap(e9err.ErrBadSpec, "rpc", cerr)
+		}
+		added, err = s.stream.Select(sel)
+	default:
+		var sel e9patch.Selector
+		switch p.App {
+		case "jumps":
+			sel = e9patch.SelectJumps
+		case "heapwrites":
+			sel = e9patch.SelectHeapWrites
+		case "all":
+			sel = e9patch.SelectAll
+		default:
+			return nil, e9err.Unsupported("rpc", "rpc: unknown app %q (want jumps, heapwrites or all)", p.App)
+		}
+		added, err = s.stream.Select(sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"matched": added, "selected": s.stream.Selected()}, nil
+}
+
+type emitParams struct {
+	Output string `json:"output"`
+	Format string `json:"format"`
+}
+
+// handleEmit runs the decision and emit phases over the accumulated
+// selection. With an output path (CLI only) the binary is written to
+// disk; either way the Result stays available for the transport layer
+// (the HTTP server streams Result().Output as the response body).
+func (s *Session) handleEmit(ctx context.Context, msg *Message) (any, error) {
+	if s.state != stateOpen {
+		return nil, e9err.Malformed("rpc", "rpc: emit before binary")
+	}
+	var p emitParams
+	if err := decodeParams(msg, &p); err != nil {
+		return nil, err
+	}
+	if p.Format != "" && p.Format != "binary" {
+		return nil, e9err.Unsupported("rpc", "rpc: unknown emit format %q", p.Format)
+	}
+	if p.Output != "" && !s.opts.AllowPath {
+		return nil, e9err.Unsupported("rpc", "rpc: filesystem paths are not allowed on this transport")
+	}
+	res, err := s.stream.Finish(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.res = res
+	s.state = stateDone
+	if p.Output != "" {
+		if err := os.WriteFile(p.Output, res.Output, 0o755); err != nil {
+			return nil, e9err.Wrap(e9err.ErrInternal, "rpc", err)
+		}
+	}
+	return map[string]any{
+		"outputSize":  res.OutputSize,
+		"trampolines": res.Trampolines,
+		"patched":     res.Stats.Patched(),
+		"failed":      res.Stats.Failed,
+		"mappings":    res.Mappings,
+		"warnings":    res.Warnings,
+	}, nil
+}

@@ -1,0 +1,271 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"e9patch"
+	"e9patch/internal/e9err"
+	"e9patch/internal/workload"
+)
+
+// testBin builds a small real binary for protocol sessions.
+func testBin(t testing.TB) []byte {
+	t.Helper()
+	prog, err := workload.BuildKernel("branchy", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.ELF
+}
+
+// serveString runs one session over a literal stream and returns the
+// response transcript and the session error.
+func serveString(t testing.TB, stream string, opts Options) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := Serve(context.Background(), strings.NewReader(stream), &out, opts)
+	return out.String(), err
+}
+
+// TestSessionEndToEnd drives the full grammar with an inline base64
+// binary and checks the emitted bytes equal the library's single-shot
+// Rewrite — the protocol is a transport, not a different rewriter.
+func TestSessionEndToEnd(t *testing.T) {
+	bin := testBin(t)
+	want, err := e9patch.Rewrite(bin, e9patch.Config{Select: e9patch.SelectJumps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "out.bin")
+	stream := fmt.Sprintf(`{"jsonrpc":"2.0","method":"binary","params":{"data":%q},"id":1}
+{"jsonrpc":"2.0","method":"patch","params":{"app":"jumps"},"id":2}
+{"jsonrpc":"2.0","method":"emit","params":{"output":%q},"id":3}
+`, base64.StdEncoding.EncodeToString(bin), outPath)
+
+	transcript, err := serveString(t, stream, Options{AllowPath: true})
+	if err != nil {
+		t.Fatalf("serve: %v\ntranscript: %s", err, transcript)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Output, got) {
+		t.Fatal("protocol session output differs from single-shot Rewrite")
+	}
+	// Every id-carrying request got a response line.
+	if n := strings.Count(transcript, "\n"); n != 3 {
+		t.Fatalf("want 3 response lines, got %d: %s", n, transcript)
+	}
+	if strings.Contains(transcript, "\"error\"") {
+		t.Fatalf("unexpected error in transcript: %s", transcript)
+	}
+}
+
+// TestSessionFramedBinary covers the raw size-framed payload path (the
+// chunked-HTTP framing) and hex-string numbers in patch addresses.
+func TestSessionFramedBinary(t *testing.T) {
+	bin := testBin(t)
+	want, err := e9patch.Rewrite(bin, e9patch.Config{Select: e9patch.SelectJumps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for _, loc := range want.Locations {
+		addrs = append(addrs, fmt.Sprintf("\"%#x\"", loc.Addr))
+	}
+
+	var stream bytes.Buffer
+	fmt.Fprintf(&stream, `{"method":"binary","params":{"size":%d}}`+"\n", len(bin))
+	stream.Write(bin)
+	stream.WriteByte('\n')
+	fmt.Fprintf(&stream, `{"method":"patch","params":{"addrs":[%s]},"id":1}`+"\n", strings.Join(addrs, ","))
+	fmt.Fprintf(&stream, `{"method":"emit","id":2}`+"\n")
+
+	var out bytes.Buffer
+	s := NewSession(Options{})
+	defer s.Close()
+	d := NewDecoder(&stream, 0)
+	ctx := context.Background()
+	for {
+		msg, err := d.Next()
+		if err != nil {
+			break
+		}
+		if _, err := s.Handle(ctx, msg, d); err != nil {
+			t.Fatalf("%s: %v", msg.Method, err)
+		}
+	}
+	if !s.Done() {
+		t.Fatal("session did not reach emit")
+	}
+	if !bytes.Equal(want.Output, s.Result().Output) {
+		t.Fatal("framed session output differs from single-shot Rewrite")
+	}
+	_ = out
+}
+
+// TestSessionAbuse sweeps the hostile streams: truncation, grammar
+// violations, oversized messages, bad numbers. Every case must yield a
+// classified e9err error of the right class — and never a panic.
+func TestSessionAbuse(t *testing.T) {
+	bin := testBin(t)
+	b64 := base64.StdEncoding.EncodeToString(bin)
+	binMsg := fmt.Sprintf(`{"method":"binary","params":{"data":%q}}`, b64)
+
+	cases := []struct {
+		name   string
+		stream string
+		opts   Options
+		class  error
+	}{
+		{"patch-before-binary", `{"method":"patch","params":{"app":"jumps"}}`, Options{}, e9err.ErrMalformed},
+		{"emit-before-binary", `{"method":"emit"}`, Options{}, e9err.ErrMalformed},
+		{"double-binary", binMsg + "\n" + binMsg, Options{}, e9err.ErrMalformed},
+		{"double-emit", binMsg + "\n" + `{"method":"emit"}` + "\n" + `{"method":"emit"}`, Options{}, e9err.ErrMalformed},
+		{"option-after-binary", binMsg + "\n" + `{"method":"option","params":{"forceB0":true}}`, Options{}, e9err.ErrMalformed},
+		{"truncated-stream", binMsg + "\n" + `{"method":"patch","params":{"app":"jumps"}}`, Options{}, e9err.ErrMalformed},
+		{"empty-stream", "", Options{}, e9err.ErrMalformed},
+		{"bad-json", `{"method":`, Options{}, e9err.ErrMalformed},
+		{"trailing-garbage", `{"method":"emit"} {"x":1}`, Options{}, e9err.ErrMalformed},
+		{"no-method", `{"id":1}`, Options{}, e9err.ErrMalformed},
+		{"bad-version", `{"jsonrpc":"1.0","method":"emit"}`, Options{}, e9err.ErrUnsupported},
+		{"unknown-method", `{"method":"trampoline"}`, Options{}, e9err.ErrUnsupported},
+		{"unknown-option", `{"method":"option","params":{"granlarity":2}}`, Options{}, e9err.ErrMalformed},
+		{"path-denied", `{"method":"binary","params":{"filename":"/etc/hostname"}}`, Options{}, e9err.ErrUnsupported},
+		{"output-path-denied", binMsg + "\n" + `{"method":"emit","params":{"output":"/tmp/x"}}`, Options{}, e9err.ErrUnsupported},
+		{"binary-no-source", `{"method":"binary","params":{}}`, Options{}, e9err.ErrMalformed},
+		{"binary-two-sources", fmt.Sprintf(`{"method":"binary","params":{"data":%q,"size":4}}`, b64), Options{}, e9err.ErrMalformed},
+		{"patch-no-source", binMsg + "\n" + `{"method":"patch","params":{}}`, Options{}, e9err.ErrMalformed},
+		{"patch-two-sources", binMsg + "\n" + `{"method":"patch","params":{"app":"jumps","match":"jcc"}}`, Options{}, e9err.ErrMalformed},
+		{"unknown-app", binMsg + "\n" + `{"method":"patch","params":{"app":"everything"}}`, Options{}, e9err.ErrUnsupported},
+		{"bad-match-expr", binMsg + "\n" + `{"method":"patch","params":{"match":"jcc &&& x"}}`, Options{}, e9err.ErrBadSpec},
+		{"bad-emit-format", binMsg + "\n" + `{"method":"emit","params":{"format":"elf128"}}`, Options{}, e9err.ErrUnsupported},
+		{"bad-number", binMsg + "\n" + `{"method":"patch","params":{"addrs":["0xZZ"]}}`, Options{}, e9err.ErrMalformed},
+		{"negative-size", `{"method":"binary","params":{"size":-1}}`, Options{}, e9err.ErrMalformed},
+		{"empty-reserve", `{"method":"reserve","params":{"ranges":[{"lo":"0x2000","hi":"0x1000"}]}}`, Options{}, e9err.ErrMalformed},
+		{"oversized-message", `{"method":"option","params":{"` + strings.Repeat("a", 300) + `":1}}`,
+			Options{MaxMessageBytes: 128}, e9err.ErrResourceLimit},
+		{"framed-too-large", `{"method":"binary","params":{"size":"0x100000000"}}`,
+			Options{MaxBinaryBytes: 1 << 20}, e9err.ErrResourceLimit},
+		{"inline-too-large", binMsg, Options{MaxBinaryBytes: 16}, e9err.ErrResourceLimit},
+		{"framed-truncated", `{"method":"binary","params":{"size":1024}}` + "\nshort", Options{}, e9err.ErrMalformed},
+		{"not-an-elf", `{"method":"binary","params":{"data":"aGVsbG8="}}`, Options{}, e9err.ErrMalformed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			transcript, err := serveString(t, tc.stream, tc.opts)
+			if err == nil {
+				t.Fatalf("want %v, got success\ntranscript: %s", tc.class, transcript)
+			}
+			if !errors.Is(err, tc.class) {
+				t.Fatalf("want class %v, got %v", tc.class, err)
+			}
+			var e *e9err.Error
+			if !errors.As(err, &e) {
+				t.Fatalf("error is not classified: %v", err)
+			}
+			// The failure must also be reported on the wire, as the last
+			// line, with the matching JSON-RPC code.
+			lines := strings.Split(strings.TrimSpace(transcript), "\n")
+			last := lines[len(lines)-1]
+			var resp struct {
+				Error *Error `json:"error"`
+			}
+			if jerr := json.Unmarshal([]byte(last), &resp); jerr != nil || resp.Error == nil {
+				t.Fatalf("no error response on the wire: %q", last)
+			}
+			if resp.Error.Code != CodeFor(err) {
+				t.Fatalf("wire code %d, CodeFor says %d", resp.Error.Code, CodeFor(err))
+			}
+		})
+	}
+}
+
+// TestSessionOptions checks option plumbing end to end: forceB0 must
+// change every patched site's tactic to B0.
+func TestSessionOptions(t *testing.T) {
+	bin := testBin(t)
+	stream := fmt.Sprintf(`{"method":"option","params":{"forceB0":true,"granularity":2}}
+{"method":"binary","params":{"data":%q}}
+{"method":"patch","params":{"app":"jumps"},"id":1}
+{"method":"emit","id":2}
+`, base64.StdEncoding.EncodeToString(bin))
+	var out bytes.Buffer
+	s := NewSession(Options{})
+	defer s.Close()
+	d := NewDecoder(strings.NewReader(stream), 0)
+	ctx := context.Background()
+	for {
+		msg, err := d.Next()
+		if err != nil {
+			break
+		}
+		if _, err := s.Handle(ctx, msg, d); err != nil {
+			t.Fatalf("%s: %v", msg.Method, err)
+		}
+	}
+	res := s.Result()
+	if res == nil {
+		t.Fatal("no result after emit")
+	}
+	if res.Stats.Patched() == 0 {
+		t.Fatal("nothing patched")
+	}
+	for _, loc := range res.Locations {
+		if loc.Tactic.String() != "B0" {
+			t.Fatalf("forceB0 ignored: %#x patched via %s", loc.Addr, loc.Tactic)
+		}
+	}
+	_ = out
+}
+
+// TestUint64Forms checks the number extension round trip.
+func TestUint64Forms(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{`4245300`, 4245300, true},
+		{`"0x40c734"`, 0x40c734, true},
+		{`"0xffffffffffffffff"`, ^uint64(0), true},
+		{`"18446744073709551615"`, ^uint64(0), true},
+		{`-1`, 0, false},
+		{`1.5`, 0, false},
+		{`"0x"`, 0, false},
+		{`"zzz"`, 0, false},
+		{`true`, 0, false},
+	} {
+		var u Uint64
+		err := json.Unmarshal([]byte(tc.in), &u)
+		if tc.ok != (err == nil) {
+			t.Errorf("%s: ok=%v, err=%v", tc.in, tc.ok, err)
+			continue
+		}
+		if tc.ok && uint64(u) != tc.want {
+			t.Errorf("%s: got %#x, want %#x", tc.in, uint64(u), tc.want)
+		}
+	}
+	// Round trip through MarshalJSON keeps large values exact.
+	big := Uint64(0xdead_beef_cafe_f00d)
+	enc, err := json.Marshal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Uint64
+	if err := json.Unmarshal(enc, &back); err != nil || back != big {
+		t.Fatalf("round trip %s -> %#x (err %v)", enc, uint64(back), err)
+	}
+}

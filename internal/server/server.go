@@ -170,6 +170,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
+	s.mux.HandleFunc("POST /v2/rewrite", s.handleRewriteV2)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -379,11 +380,21 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", s.retryAfter())
 		fail(http.StatusTooManyRequests, "work queue full; retry later")
+	default:
+		s.failClassified(err, fail, func() { code = "499" })
+	}
+}
+
+// failClassified maps a classified pipeline failure onto an HTTP status;
+// shared by the v1 and v2 rewrite handlers. gone fires instead of a
+// response when our own client abandoned the request.
+func (s *Server) failClassified(err error, fail func(int, string), gone func()) {
+	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		fail(http.StatusGatewayTimeout,
 			fmt.Sprintf("rewrite exceeded the %s budget", s.cfg.Timeout))
 	case errors.Is(err, context.Canceled):
-		code = "499" // our own client gave up; nothing to write
+		gone() // client went away; nothing to write
 	case errors.Is(err, e9patch.ErrResourceLimit):
 		reason := "unknown"
 		var ee *e9patch.Error
@@ -392,7 +403,7 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		}
 		s.metrics.IncRejected(reason)
 		switch reason {
-		case e9err.ReasonInputTooLarge, e9err.ReasonTextTooLarge:
+		case e9err.ReasonInputTooLarge, e9err.ReasonTextTooLarge, e9err.ReasonMessageTooLarge:
 			fail(http.StatusRequestEntityTooLarge, err.Error())
 		case e9err.ReasonPhaseDeadline:
 			fail(http.StatusGatewayTimeout, err.Error())
@@ -406,7 +417,8 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusInternalServerError, "internal error")
 	default:
 		// Everything else the pipeline classifies as the client's input:
-		// malformed or unsupported binaries, plans and specs.
+		// malformed or unsupported binaries, plans, specs and protocol
+		// streams.
 		fail(http.StatusUnprocessableEntity, err.Error())
 	}
 }

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/patch"
+)
+
+// v2Session builds a size-framed protocol stream for elf with the given
+// extra message lines between binary and emit.
+func v2Session(elf []byte, pre []string, mid []string) []byte {
+	var b bytes.Buffer
+	for _, m := range pre {
+		b.WriteString(m + "\n")
+	}
+	fmt.Fprintf(&b, `{"method":"binary","params":{"size":%d}}`+"\n", len(elf))
+	b.Write(elf)
+	b.WriteByte('\n')
+	for _, m := range mid {
+		b.WriteString(m + "\n")
+	}
+	b.WriteString(`{"method":"emit"}` + "\n")
+	return b.Bytes()
+}
+
+// TestStreamEndpoint drives /v2/rewrite with a full session and checks
+// the response body is byte-identical to an in-process rewrite of the
+// same binary and configuration.
+func TestStreamEndpoint(t *testing.T) {
+	elf := kernelELF(t)
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	session := v2Session(elf,
+		[]string{`{"method":"option","params":{"b0Fallback":true,"granularity":2}}`},
+		[]string{
+			`{"method":"patch","params":{"match":"jcc"}}`,
+			`{"method":"patch","params":{"match":"call"}}`,
+		})
+	resp, err := http.Post(ts.URL+"/v2/rewrite", "application/x-ndjson", bytes.NewReader(session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-E9-Cache") != "stream" {
+		t.Fatalf("X-E9-Cache = %q, want stream", resp.Header.Get("X-E9-Cache"))
+	}
+	var stats rewriteStats
+	if err := json.Unmarshal([]byte(resp.Header.Get("X-E9-Stats")), &stats); err != nil {
+		t.Fatalf("bad X-E9-Stats header: %v", err)
+	}
+	if stats.OutputSize != len(got) {
+		t.Fatalf("stats report %d output bytes, body has %d", stats.OutputSize, len(got))
+	}
+
+	sel, err := e9patch.SelectMatch("jcc | call")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e9patch.Rewrite(elf, e9patch.Config{
+		Select:      sel,
+		Granularity: 2,
+		Patch:       patch.Options{B0Fallback: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Output) {
+		t.Fatalf("streamed output (%d bytes) differs from direct rewrite (%d bytes)",
+			len(got), len(want.Output))
+	}
+	if n := metricValue(t, srv.Handler(), "e9served_streams_total"); n != 1 {
+		t.Fatalf("e9served_streams_total = %v, want 1", n)
+	}
+}
+
+// TestStreamEndpointChunked sends the session over a pipe with no
+// Content-Length — chunked transfer encoding — feeding messages after
+// the binary is already server-side, the browser-class driving shape.
+func TestStreamEndpointChunked(t *testing.T) {
+	elf := kernelELF(t)
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		if _, err := fmt.Fprintf(pw, `{"method":"binary","params":{"size":%d}}`+"\n", len(elf)); err != nil {
+			done <- err
+			return
+		}
+		pw.Write(elf)
+		pw.Write([]byte("\n"))
+		// The binary is parsed and disassembled before these arrive.
+		time.Sleep(50 * time.Millisecond)
+		io.WriteString(pw, `{"method":"patch","params":{"app":"jumps"}}`+"\n")
+		io.WriteString(pw, `{"method":"emit"}`+"\n")
+		done <- nil
+	}()
+
+	resp, err := http.Post(ts.URL+"/v2/rewrite", "application/x-ndjson", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("writing session: %v", werr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	want, err := e9patch.Rewrite(elf, e9patch.Config{Select: e9patch.SelectJumps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Output) {
+		t.Fatal("chunked streamed output differs from direct rewrite")
+	}
+}
+
+// TestStreamEndpointErrors maps protocol and pipeline failures onto
+// HTTP statuses: broken streams are 400s, oversized ones 413, bad
+// binaries 422 — and none of them take the server down.
+func TestStreamEndpointErrors(t *testing.T) {
+	elf := kernelELF(t)
+	srv := New(Config{Workers: 1, MaxBodyBytes: int64(len(elf) + 4096)})
+	defer srv.Close()
+	h := srv.Handler()
+
+	b64 := base64.StdEncoding.EncodeToString(elf)
+	for name, tc := range map[string]struct {
+		stream string
+		status int
+	}{
+		"empty":             {"", http.StatusBadRequest},
+		"no-emit":           {`{"method":"option","params":{"granularity":2}}` + "\n", http.StatusBadRequest},
+		"patch-first":       {`{"method":"patch","params":{"app":"jumps"}}` + "\n", http.StatusBadRequest},
+		"bad-json":          {"{nope\n", http.StatusBadRequest},
+		"unknown-method":    {`{"method":"transmogrify"}` + "\n", http.StatusBadRequest},
+		"filename-denied":   {`{"method":"binary","params":{"filename":"/etc/passwd"}}` + "\n", http.StatusBadRequest},
+		"output-denied":     {fmt.Sprintf(`{"method":"binary","params":{"data":%q}}`+"\n", b64) + `{"method":"emit","params":{"output":"/tmp/x"}}` + "\n", http.StatusBadRequest},
+		"not-an-elf":        {`{"method":"binary","params":{"data":"bm90IGFuIGVsZg=="}}` + "\n", http.StatusUnprocessableEntity},
+		"oversized-framed":  {fmt.Sprintf(`{"method":"binary","params":{"size":%d}}`+"\n", len(elf)*10), http.StatusRequestEntityTooLarge},
+		"oversized-message": {`{"method":"patch","params":{"addrs":[` + strings.Repeat("1,", 1<<20) + "1]}}\n", http.StatusRequestEntityTooLarge},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("POST", "/v2/rewrite", strings.NewReader(tc.stream)))
+			if rr.Code != tc.status {
+				t.Fatalf("status %d, want %d: %s", rr.Code, tc.status, rr.Body.String())
+			}
+		})
+	}
+}

@@ -200,6 +200,20 @@ func BuildStaticMix(p Profile, scale float64, kind Kind, mo Mix) (*Program, erro
 	if textSize < 4096 {
 		textSize = 4096
 	}
+	text, err := generateText(p, textSize, kind, mo)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := buildELF(p.Name, kind != KindExec, text, make([]byte, 2048), uint64(p.BSSMB*1e6))
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// generateText emits textSize bytes of the profile's instruction mix
+// (including any data-in-text prefix) without wrapping them in an ELF.
+func generateText(p Profile, textSize int, kind Kind, mo Mix) ([]byte, error) {
 	m := deriveMix(&p)
 	m.shortJcc = clampI(mo.ShortJcc, 1, 99)
 	m.smallStore = clampI(mo.SmallStore, 1, 99)
@@ -210,9 +224,8 @@ func BuildStaticMix(p Profile, scale float64, kind Kind, mo Mix) (*Program, erro
 
 	// Chrome-style data-in-text prefix (~2.5% of the section), skipped
 	// by the frontend via SkipPrefix.
-	var prefix int
 	if p.DataInText {
-		prefix = textSize / 40
+		prefix := textSize / 40
 		for i := 0; i < prefix; i++ {
 			a.Raw(byte(r.next()))
 		}
@@ -227,12 +240,7 @@ func BuildStaticMix(p Profile, scale float64, kind Kind, mo Mix) (*Program, erro
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
 	}
-
-	prog, err := buildELF(p.Name, kind != KindExec, text, make([]byte, 2048), uint64(p.BSSMB*1e6))
-	if err != nil {
-		return nil, err
-	}
-	return prog, nil
+	return text, nil
 }
 
 // DataPrefixBytes reports the SkipPrefix value for a profile (nonzero

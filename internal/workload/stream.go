@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BuildStream builds the browser-class streaming workload: a bounded
+// Chrome-mix text section (textMB of real instructions, with the
+// profile's data-in-text prefix) followed by a data segment that pushes
+// the file past targetMB. This mirrors the shape of a real 100 MB+
+// browser image, where .text is a modest fraction and the bulk is
+// read-only data the rewriter must carry through unchanged — exactly
+// the case where mmap-backed zero-copy input and single-allocation
+// output pay off. Deterministic in (targetMB, textMB).
+func BuildStream(targetMB, textMB int) (*Program, error) {
+	if targetMB <= 0 || textMB <= 0 || textMB*2 > targetMB {
+		return nil, fmt.Errorf("workload: bad stream geometry target=%dMB text=%dMB", targetMB, textMB)
+	}
+	p, err := ProfileByName("Chrome")
+	if err != nil {
+		return nil, err
+	}
+	text, err := generateText(p, textMB<<20, p.Kind, MixFor(p))
+	if err != nil {
+		return nil, err
+	}
+
+	// Fill the remainder with deterministic pseudo-random data, eight
+	// bytes per PRNG step so 100 MB fills in milliseconds.
+	dataSize := targetMB<<20 - len(text)
+	data := make([]byte, dataSize)
+	r := newRNG("stream-data")
+	for i := 0; i+8 <= len(data); i += 8 {
+		binary.LittleEndian.PutUint64(data[i:], r.next())
+	}
+
+	prog, err := buildELF("stream", p.Kind != KindExec, text, data, 0)
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// StreamSkipPrefix reports the SkipPrefix value matching BuildStream's
+// data-in-text prefix.
+func StreamSkipPrefix(textMB int) uint64 { return uint64(textMB<<20) / 40 }
