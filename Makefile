@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest plancheck speccheck rpccheck bench bench-json bench-parallel bench-plancache bench-match bench-stream servertest fuzzshort fuzzhostile ci
+.PHONY: all build fmt vet test race difftest enginecheck plancheck speccheck rpccheck bench bench-json bench-parallel bench-plancache bench-match bench-stream servertest fuzzshort fuzzhostile ci
 
 all: build test
 
@@ -22,15 +22,26 @@ race:
 	$(GO) test -race ./...
 
 # difftest runs the differential suites: rewriter (original vs patched),
-# engines (interp vs tbc, including the FuzzEngines seed corpus), the
-# tbc parity/self-modifying-code tests, and the parallel-vs-sequential
+# engines (interp vs tbc vs ir, including the FuzzEngines seed corpus),
+# the per-engine stats/speedup tests, and the parallel-vs-sequential
 # corpus (byte-identity at every worker count, under the race detector).
 difftest:
 	$(GO) test -run 'TestDifferentialFuzz|TestFuzzSelectAllCoverage' .
 	$(GO) test -run FuzzEngines .
-	$(GO) test ./internal/emu/tbc/
+	$(GO) test ./internal/emu/...
 	$(GO) test -race -run 'TestParallelRewrite|TestParallelEmulatorEquivalence|FuzzParallelRewrite' .
 	$(GO) test -race -run 'TestParallel|TestRegionConflictRedo|TestBeltFallback|TestShardable|Shardable' ./internal/patch/ ./internal/disasm/ ./internal/match/
+
+# enginecheck is the cross-engine correctness gate: the shared
+# conformance suite and golden per-instruction traces over every
+# registered engine (interp, tbc, ir), the engine-specific
+# optimization/speedup tests, and a short three-way differential fuzz.
+# Re-record goldens with:
+#   go test ./internal/emu/enginetest/ -run TestEngineGoldenTraces -update-golden
+enginecheck:
+	$(GO) test ./internal/emu/enginetest/
+	$(GO) test ./internal/emu/tbc/ ./internal/emu/ir/
+	$(GO) test -run '^FuzzEngines$$' -fuzz '^FuzzEngines$$' -fuzztime 5s .
 
 # plancheck verifies the plan/apply split: plan determinism, golden
 # JSON schema, serialization round trips, and Plan+Apply byte-identity
@@ -122,4 +133,4 @@ fuzzhostile:
 	$(GO) test -run 'TestHostile|TestLibraryLimits|TestMmapFallbackDifferential' -count 1 .
 	$(GO) test -run '^FuzzRewriteHostileELF$$' -fuzz '^FuzzRewriteHostileELF$$' -fuzztime 10s .
 
-ci: fmt vet race difftest plancheck speccheck rpccheck servertest fuzzshort fuzzhostile
+ci: fmt vet race difftest enginecheck plancheck speccheck rpccheck servertest fuzzshort fuzzhostile

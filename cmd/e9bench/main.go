@@ -11,7 +11,7 @@
 //	e9bench -ablation-pie      # §6.1 PIE vs non-PIE coverage
 //	e9bench -ablation-b0       # §2.1.1 signal-handler baseline
 //	e9bench -motivation        # §1 CFG-recovery accuracy decay
-//	e9bench -enginespeed       # interp vs tbc emulation throughput
+//	e9bench -enginespeed       # interp vs tbc vs ir emulation throughput
 //	e9bench -parallelism=8     # rewrite-phase scaling curve, widths 1..8
 //	e9bench -plancache         # plan-cache-hit rematerialization speedup
 //	e9bench -matchlang         # spec-language matcher cost vs hardcoded selectors
@@ -20,8 +20,9 @@
 //
 // -scale shrinks the synthetic binaries relative to the paper's sizes
 // (default 0.25); -full is shorthand for -scale 1. -engine selects the
-// execution engine (tbc translation cache by default, interp to fall
-// back to the decode-per-step interpreter); every run ends with an
+// execution engine by registry name (tbc translation cache by default;
+// ir for the IR-lifting engine; interp to fall back to the
+// decode-per-step interpreter); every run ends with an
 // instructions-per-second line for the session. -json PATH additionally
 // writes the session's machine-readable results (engine, workload,
 // instructions/sec, speedup) for the BENCH_*.json trajectory
@@ -35,6 +36,7 @@ import (
 	"os"
 	"time"
 
+	"e9patch/internal/emu"
 	"e9patch/internal/eval"
 	"e9patch/internal/workload"
 )
@@ -122,12 +124,16 @@ type parallelPointJSON struct {
 }
 
 // engineSpeedJSON mirrors eval.EngineSpeed for the -enginespeed run.
+// "speedup" stays the tbc/interp ratio so the trajectory across
+// commits remains comparable; the ir engine adds its own pair.
 type engineSpeedJSON struct {
 	Workload     string  `json:"workload"`
 	Instructions uint64  `json:"instructions"`
 	InterpIPS    float64 `json:"interpInstPerSec"`
 	TBCIPS       float64 `json:"tbcInstPerSec"`
+	IRIPS        float64 `json:"irInstPerSec"`
 	Speedup      float64 `json:"speedup"`
+	IRSpeedup    float64 `json:"irSpeedup"`
 }
 
 // emulationJSON is the session-wide emulation throughput.
@@ -148,7 +154,7 @@ func main() {
 		abPIE   = flag.Bool("ablation-pie", false, "PIE vs non-PIE coverage")
 		abB0    = flag.Bool("ablation-b0", false, "int3/SIGTRAP baseline comparison")
 		motiv   = flag.Bool("motivation", false, "CFG-recovery accuracy decay table")
-		engSpd  = flag.Bool("enginespeed", false, "interp vs tbc emulation throughput")
+		engSpd  = flag.Bool("enginespeed", false, "interp vs tbc vs ir emulation throughput")
 		parMax  = flag.Int("parallelism", 0, "measure rewrite-phase scaling up to this worker count")
 		planCch = flag.Bool("plancache", false, "measure plan-cache-hit rematerialization speedup")
 		mtchLng = flag.Bool("matchlang", false, "measure spec-language matcher cost vs hardcoded selectors")
@@ -160,7 +166,7 @@ func main() {
 		full    = flag.Bool("full", false, "shorthand for -scale 1")
 		iters   = flag.Int("iters", 0, "kernel iterations (0 = default)")
 		spec    = flag.Bool("spec-only", false, "Table 1: SPEC rows only")
-		engine  = flag.String("engine", "tbc", "execution engine: tbc (translation cache) or interp (fallback)")
+		engine  = flag.String("engine", "tbc", "execution engine: tbc (translation cache), ir (IR lifting), or interp (fallback)")
 		jsonOut = flag.String("json", "", "write machine-readable results to this path")
 		verbose = flag.Bool("v", false, "progress output")
 	)
@@ -168,13 +174,11 @@ func main() {
 	if *full {
 		*scale = 1
 	}
-	switch *engine {
-	case "tbc", "interp":
-		workload.Engine = *engine
-	default:
-		fmt.Fprintf(os.Stderr, "e9bench: -engine must be tbc or interp, got %q\n", *engine)
+	if _, err := emu.NewEngineByName(*engine); err != nil {
+		fmt.Fprintf(os.Stderr, "e9bench: %v\n", err)
 		os.Exit(2)
 	}
+	workload.Engine = *engine
 	opt := eval.Options{Scale: *scale, Iters: *iters}
 	progress := func() *os.File {
 		if *verbose {
@@ -297,20 +301,23 @@ func main() {
 
 	if *engSpd || *all {
 		ran = true
-		fmt.Println("== Engine throughput: interp vs tbc (memstream kernel) ==")
+		fmt.Println("== Engine throughput: interp vs tbc vs ir (memstream kernel) ==")
 		es, err := eval.MeasureEngines(opt)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("interp %10.2f Minst/s\ntbc    %10.2f Minst/s   speedup %.2fx  (%d instructions/run, counters identical)\n",
-			es.InterpIPS/1e6, es.TBCIPS/1e6, es.Speedup, es.Instructions)
+		fmt.Printf("interp %10.2f Minst/s\ntbc    %10.2f Minst/s   speedup %.2fx\nir     %10.2f Minst/s   speedup %.2fx  (%d instructions/run, counters identical)\n",
+			es.InterpIPS/1e6, es.TBCIPS/1e6, es.Speedup,
+			es.IRIPS/1e6, es.IRSpeedup, es.Instructions)
 		fmt.Println()
 		report.EngineSpeed = &engineSpeedJSON{
 			Workload:     "memstream",
 			Instructions: es.Instructions,
 			InterpIPS:    es.InterpIPS,
 			TBCIPS:       es.TBCIPS,
+			IRIPS:        es.IRIPS,
 			Speedup:      es.Speedup,
+			IRSpeedup:    es.IRSpeedup,
 		}
 	}
 

@@ -77,7 +77,7 @@ func genProgram(rng *rand.Rand, pie bool) ([]byte, error) {
 
 	nOps := rng.Intn(40) + 20
 	for i := 0; i < nOps; i++ {
-		switch rng.Intn(12) {
+		switch rng.Intn(16) {
 		case 0:
 			a.AddRegReg64(anyReg(), anyReg())
 		case 1:
@@ -119,6 +119,34 @@ func genProgram(rng *rand.Rand, pie bool) ([]byte, error) {
 			r := anyReg()
 			a.PushReg(r)
 			a.PopReg(r)
+		case 12: // carry chain: partial-flag writer feeding adc/sbb
+			a.AddRegReg64(anyReg(), anyReg())
+			a.AdcRegImm64(anyReg(), int32(rng.Intn(1<<16)))
+			a.SbbRegReg64(anyReg(), anyReg())
+		case 13: // setcc right after a shift (CF/OF from the shift lattice)
+			a.ShlRegImm64(anyReg(), uint8(rng.Intn(31)))
+			a.Setcc(x86.Cond(rng.Intn(16)), anyReg())
+		case 14: // bare CF manipulation consumed by adc
+			switch rng.Intn(3) {
+			case 0:
+				a.Cmc()
+			case 1:
+				a.Clc()
+			case 2:
+				a.Stc()
+			}
+			a.AdcRegImm64(anyReg(), int32(rng.Intn(100)))
+		case 15: // flags into the data flow, and data into the flags
+			if rng.Intn(2) == 0 {
+				a.NegReg64(anyReg())
+				a.Pushfq()
+				a.PopReg(anyReg())
+			} else {
+				a.PushReg(anyReg())
+				a.Popfq()
+				a.Setcc(x86.Cond(rng.Intn(16)), anyReg())
+				a.AdcRegImm64(anyReg(), int32(rng.Intn(100)))
+			}
 		}
 	}
 
@@ -230,12 +258,16 @@ func TestDifferentialFuzz(t *testing.T) {
 }
 
 // FuzzEngines is the engine-differential target: every random program
-// must behave identically under the decode-per-step interpreter and
-// the tbc translation cache — same ExitCode, final registers, flags,
-// output stream, and byte-identical Counters. Under plain `go test`
-// the seed corpus runs; `go test -fuzz=FuzzEngines` explores further.
+// must behave identically under every registered engine — the
+// decode-per-step interpreter (the reference), the tbc translation
+// cache, and the IR-lifting engine — same ExitCode, final registers,
+// flags, output stream, memory image, and byte-identical Counters.
+// The generator includes dedicated flag-stress material (adc/sbb
+// chains, setcc after shifts, cmc/clc/stc, pushfq/popfq) aimed at the
+// IR engine's lazy-flag machinery. Under plain `go test` the seed
+// corpus runs; `go test -fuzz=FuzzEngines` explores further.
 func FuzzEngines(f *testing.F) {
-	for seed := int64(0); seed < 12; seed++ {
+	for seed := int64(0); seed < 16; seed++ {
 		f.Add(seed, seed%3 == 0)
 	}
 	f.Fuzz(func(t *testing.T, seed int64, pie bool) {
@@ -250,24 +282,32 @@ func FuzzEngines(f *testing.F) {
 			defer func() { workload.Engine = saved }()
 			return fuzzRun(t, bin)
 		}
-		im := run("interp")
-		cm := run("tbc")
-		if im.ExitCode != cm.ExitCode {
-			t.Fatalf("exit: interp %#x, tbc %#x", im.ExitCode, cm.ExitCode)
-		}
-		if im.Regs != cm.Regs || im.RIP != cm.RIP || im.Flags != cm.Flags {
-			t.Fatalf("final state diverged:\ninterp regs=%x rip=%#x flags=%#x\ntbc    regs=%x rip=%#x flags=%#x",
-				im.Regs, im.RIP, im.Flags, cm.Regs, cm.RIP, cm.Flags)
-		}
-		if im.Counters != cm.Counters {
-			t.Fatalf("counters diverged:\ninterp %+v\ntbc    %+v", im.Counters, cm.Counters)
-		}
-		if len(im.Output) != len(cm.Output) {
-			t.Fatalf("output length: interp %d, tbc %d", len(im.Output), len(cm.Output))
-		}
-		for i := range im.Output {
-			if im.Output[i] != cm.Output[i] {
-				t.Fatalf("output[%d]: interp %#x, tbc %#x", i, im.Output[i], cm.Output[i])
+		ref := run("interp")
+		for _, name := range emu.EngineNames() {
+			if name == "interp" {
+				continue
+			}
+			em := run(name)
+			if ref.ExitCode != em.ExitCode {
+				t.Fatalf("exit: interp %#x, %s %#x", ref.ExitCode, name, em.ExitCode)
+			}
+			if ref.Regs != em.Regs || ref.RIP != em.RIP || ref.Flags != em.Flags {
+				t.Fatalf("final state diverged:\ninterp regs=%x rip=%#x flags=%#x\n%s regs=%x rip=%#x flags=%#x",
+					ref.Regs, ref.RIP, ref.Flags, name, em.Regs, em.RIP, em.Flags)
+			}
+			if ref.Counters != em.Counters {
+				t.Fatalf("counters diverged:\ninterp %+v\n%s %+v", ref.Counters, name, em.Counters)
+			}
+			if len(ref.Output) != len(em.Output) {
+				t.Fatalf("output length: interp %d, %s %d", len(ref.Output), name, len(em.Output))
+			}
+			for i := range ref.Output {
+				if ref.Output[i] != em.Output[i] {
+					t.Fatalf("output[%d]: interp %#x, %s %#x", i, ref.Output[i], name, em.Output[i])
+				}
+			}
+			if addr, diff := emu.DiffMemory(ref.Mem, em.Mem); diff {
+				t.Fatalf("memory diverged at %#x (interp vs %s)", addr, name)
 			}
 		}
 	})

@@ -60,6 +60,15 @@ func (m *Machine) ExecDecoded(inst *x86.Inst) error {
 	if m.Trace != nil {
 		m.Trace(inst)
 	}
+	return m.ExecDecodedQuiet(inst)
+}
+
+// ExecDecodedQuiet is ExecDecoded without the Trace callback: counters,
+// dispatch, error wrapping and the RIP update. Engines that issue the
+// Trace call themselves (or have already established it is nil) use it
+// as the single-instruction fallback path so the callback never fires
+// twice for one retired instruction.
+func (m *Machine) ExecDecodedQuiet(inst *x86.Inst) error {
 	m.Counters.Instructions++
 	m.Counters.Cycles += m.Cost.ALU
 	next := inst.Addr + uint64(inst.Len)
@@ -343,7 +352,7 @@ func (m *Machine) exec(inst *x86.Inst, next uint64) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		m.Flags = v | flagsAlways
+		m.Flags = v | FlagsAlways
 		return next, nil
 
 	case op == 0xA8 || op == 0xA9: // test al/eax, imm
@@ -428,6 +437,26 @@ func (m *Machine) exec(inst *x86.Inst, next uint64) (uint64, error) {
 	case op == 0xF4: // hlt
 		m.halted = true
 		m.ExitCode = m.Regs[x86.RAX]
+		return next, nil
+
+	case op == 0xF5: // cmc
+		m.Flags ^= FlagCF
+		return next, nil
+
+	case op == 0xF8: // clc
+		m.setFlag(FlagCF, false)
+		return next, nil
+
+	case op == 0xF9: // stc
+		m.setFlag(FlagCF, true)
+		return next, nil
+
+	case op == 0xFC: // cld
+		m.setFlag(FlagDF, false)
+		return next, nil
+
+	case op == 0xFD: // std
+		m.setFlag(FlagDF, true)
 		return next, nil
 
 	case op == 0xF6 || op == 0xF7: // group 3

@@ -1,0 +1,377 @@
+// Package ir is an IR-lifting execution engine for the emulator: each
+// basic block is lifted once — through the same DecodeBlock seam the
+// tbc engine uses — into a linear sequence of micro-ops (Go closures),
+// optimized per block, and then dispatched by threaded code with no
+// per-instruction decode or switch.
+//
+// Three block-local optimizations carry the speedup beyond tbc:
+//
+//   - Lazy EFLAGS (lazy.go): ALU micro-ops record only the operation
+//     that last defined the flags; consumers (jcc, setcc, cmov,
+//     adc/sbb, pushfq) derive exactly the bits they read, and full
+//     materialization happens only at block-exit seams that demand
+//     architectural flags (runtime calls, faults, the careful path).
+//   - Dead-flag elimination (compile.go): a backward liveness scan over
+//     the six arithmetic flags drops even the recording store when a
+//     later instruction in the same block overwrites the flags before
+//     any possible consumer or early block exit.
+//   - Constant effective-address folding (compile.go): registers with
+//     block-entry-known constant values (mov r, imm; xor r, r; lea of
+//     a constant) fold into memory-operand address computations at
+//     compile time; RIP-relative operands always fold.
+//
+// The engine is observationally identical to the interpreter and tbc:
+// same Counters and cycle model, same Trace behaviour (tracing falls
+// back to the careful per-instruction path), same runtime-call / exit
+// / SIGTRAP dispatch, the same errors at the same addresses with
+// machine state positioned identically, and the same self-modifying
+// code semantics via the shared CodeTracker write barrier (a store
+// into translated code flushes the cache and aborts the in-flight
+// block). See DESIGN.md §13.
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"e9patch/internal/emu"
+	"e9patch/internal/emu/tbc"
+	"e9patch/internal/x86"
+)
+
+// uop is one micro-op. It returns the index of the next micro-op in
+// the block, or done to leave the block (control transfer, fault,
+// halt, or SMC abort). Micro-ops update RIP only when leaving.
+type uop func(*state) int
+
+// done is the uop return value that exits the block dispatch loop.
+const done = -1
+
+// block is one lifted run of straight-line code.
+type block struct {
+	start uint64
+	end   uint64 // address one past the final instruction
+	insts []x86.Inst
+
+	// ops is the threaded code: ops[i] executes insts[i]; a possible
+	// extra trailing epilogue op materializes the fallthrough RIP.
+	ops []uop
+
+	// succAddr/succ chain blocks across direct control transfers,
+	// exactly as in tbc.
+	succAddr [2]uint64
+	succ     [2]*block
+}
+
+// state is the per-engine execution state threaded through micro-ops.
+type state struct {
+	m   *emu.Machine
+	trk *tbc.CodeTracker
+
+	// fl is the deferred flag record (lazy.go).
+	fl flagRec
+
+	// err, when set by a micro-op returning done, aborts Run.
+	err error
+
+	// One-entry load/store TLBs: last-touched page per direction.
+	// Page arrays are never recycled by Memory, so caching the slice
+	// is sound; the caches are reset when the engine rebinds memory.
+	ldIdx  uint64
+	ldPage []byte
+	stIdx  uint64
+	stPage []byte
+}
+
+// Stats counts translation and optimization events, for tests and
+// tooling.
+type Stats struct {
+	// Translations is the number of blocks lifted.
+	Translations uint64
+	// Lookups is the number of dispatch-loop block transitions.
+	Lookups uint64
+	// Chained is the subset of Lookups resolved via a chain pointer.
+	Chained uint64
+	// Flushes is the number of whole-cache invalidations.
+	Flushes uint64
+	// FastBlocks counts block executions on the threaded-code path.
+	FastBlocks uint64
+	// CarefulBlocks counts block executions on the per-instruction
+	// fallback path (tracer installed or budget nearly exhausted).
+	CarefulBlocks uint64
+	// ElidedFlags counts flag-producing instructions whose flag
+	// computation was removed entirely by block-local liveness.
+	ElidedFlags uint64
+	// FoldedEAs counts memory operands whose effective address was
+	// resolved to a constant at lift time.
+	FoldedEAs uint64
+}
+
+// Engine is the IR-lifting execution engine. An Engine binds to a
+// single Machine's memory via the write barrier; create one per
+// machine (workload.NewMachine does).
+type Engine struct {
+	blocks map[uint64]*block
+	trk    *tbc.CodeTracker
+	mem    *emu.Memory
+	st     state
+
+	// Stats accumulates lift/dispatch events across Run calls.
+	Stats Stats
+}
+
+// New returns an empty IR engine.
+func New() *Engine {
+	e := &Engine{blocks: make(map[uint64]*block)}
+	e.trk = tbc.NewCodeTracker(func() {
+		clear(e.blocks)
+		e.Stats.Flushes++
+	})
+	e.st.trk = e.trk
+	return e
+}
+
+func init() {
+	emu.RegisterEngine("ir", func() emu.Engine { return New() })
+}
+
+// Run implements emu.Engine: execute until halt or budget exhaustion,
+// observationally identical to the interpreter loop.
+func (e *Engine) Run(m *emu.Machine, maxInst uint64) error {
+	if e.mem != m.Mem {
+		if e.mem != nil {
+			e.trk.Flush()
+		}
+		e.mem = m.Mem
+		m.Mem.SetWriteBarrier(e.trk.Invalidate)
+		e.st.ldPage, e.st.stPage = nil, nil
+	}
+	e.trk.Flushed = false
+
+	st := &e.st
+	st.m = m
+	st.err = nil
+	st.fl.kind = kEager // Machine.Flags is authoritative on entry
+
+	var prev *block // block whose terminator brought us here, for chaining
+	for !m.Halted() {
+		if m.Counters.Instructions >= maxInst {
+			st.materialize()
+			return fmt.Errorf("%w (%d at rip=%#x)", emu.ErrMaxInstructions, maxInst, m.RIP)
+		}
+		// Special addresses (exit sentinel, runtime calls) are never
+		// mapped, so they are only reachable at block boundaries. The
+		// cheap inline probe keeps the flags lazy across ordinary
+		// block transitions; StepSpecial runs only when it will act.
+		if m.RIP == m.ExitAddr || m.Runtime[m.RIP] != nil {
+			st.materialize()
+			if handled, err := m.StepSpecial(); err != nil {
+				return err
+			} else if handled {
+				prev = nil
+				continue
+			}
+		}
+		if e.trk.Flushed {
+			// A flush raised by the previous block (mid-block SMC
+			// abort) or outside block execution (a runtime call wrote
+			// into translated code): prev points into the dropped
+			// generation and must not seed chaining.
+			e.trk.Flushed = false
+			prev = nil
+		}
+
+		pc := m.RIP
+		e.Stats.Lookups++
+		var b *block
+		if prev != nil {
+			if prev.succAddr[0] == pc && prev.succ[0] != nil {
+				b = prev.succ[0]
+				e.Stats.Chained++
+			} else if prev.succAddr[1] == pc && prev.succ[1] != nil {
+				b = prev.succ[1]
+				e.Stats.Chained++
+			}
+		}
+		if b == nil {
+			b = e.blocks[pc]
+			if b == nil {
+				var err error
+				if b, err = e.compile(m, pc); err != nil {
+					st.materialize()
+					return err
+				}
+			}
+			if prev != nil {
+				if prev.succAddr[0] == pc {
+					prev.succ[0] = b
+				} else if prev.succAddr[1] == pc {
+					prev.succ[1] = b
+				}
+			}
+		}
+		prev = b
+
+		if m.Trace == nil && maxInst-m.Counters.Instructions >= uint64(len(b.insts)) {
+			// Fast path: the whole block fits in the remaining budget
+			// and nobody observes per-instruction state. Threaded
+			// dispatch with lazy flags.
+			e.Stats.FastBlocks++
+			ops := b.ops
+			i := 0
+			for i >= 0 {
+				i = ops[i](st)
+			}
+			if st.err != nil {
+				st.materialize()
+				err := st.err
+				st.err = nil
+				return err
+			}
+		} else {
+			// Careful path: a tracer is installed or the budget could
+			// expire mid-block. Execute per instruction through
+			// ExecDecoded, which yields tracer-mutation and budget
+			// parity with tbc/interp by construction.
+			e.Stats.CarefulBlocks++
+			st.materialize()
+			if err := e.runCareful(m, b, maxInst); err != nil {
+				return err
+			}
+		}
+	}
+	st.materialize()
+	return nil
+}
+
+// runCareful executes b one instruction at a time, mirroring the tbc
+// inner loop exactly. On a mid-block SMC flush it returns with
+// trk.Flushed still set; the dispatch loop clears it and drops the
+// chain seed.
+func (e *Engine) runCareful(m *emu.Machine, b *block, maxInst uint64) error {
+	for i := range b.insts {
+		if m.Counters.Instructions >= maxInst {
+			return fmt.Errorf("%w (%d at rip=%#x)", emu.ErrMaxInstructions, maxInst, m.RIP)
+		}
+		inst := &b.insts[i]
+		if m.Trace != nil {
+			// Private copy so a mutating tracer cannot poison the
+			// cached decode (same contract as tbc).
+			c := *inst
+			c.Bytes = append([]byte(nil), inst.Bytes...)
+			inst = &c
+		}
+		if err := m.ExecDecoded(inst); err != nil {
+			return err
+		}
+		if m.Halted() || e.trk.Flushed {
+			return nil
+		}
+	}
+	return nil
+}
+
+// fault records a wrapped execution error with machine state
+// positioned exactly as the interpreter leaves it: RIP at the faulting
+// instruction.
+func (s *state) fault(inst *x86.Inst, err error) int {
+	s.m.RIP = inst.Addr
+	s.err = fmt.Errorf("emu: at %#x (% x): %w", inst.Addr, inst.Bytes, err)
+	return done
+}
+
+// load reads n little-endian bytes through the load TLB. The fault
+// error names the first unmapped byte, matching Memory.read.
+func (s *state) load(addr uint64, n int) (uint64, error) {
+	off := addr % emu.PageSize
+	if off+uint64(n) <= emu.PageSize {
+		idx := addr / emu.PageSize
+		pg := s.ldPage
+		if pg == nil || idx != s.ldIdx {
+			pg = s.m.Mem.PageSlice(addr, false)
+			if pg == nil {
+				return 0, fmt.Errorf("emu: read fault at %#x", addr)
+			}
+			s.ldIdx, s.ldPage = idx, pg
+		}
+		switch n {
+		case 8:
+			return binary.LittleEndian.Uint64(pg[off:]), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg[off:])), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(pg[off:])), nil
+		default:
+			return uint64(pg[off]), nil
+		}
+	}
+	return s.m.Mem.ReadInt(addr, n)
+}
+
+// store writes n little-endian bytes through the store TLB, firing
+// the write barrier first (stores never fault: pages are created on
+// demand, as in Memory.write).
+func (s *state) store(addr uint64, v uint64, n int) {
+	off := addr % emu.PageSize
+	if off+uint64(n) > emu.PageSize {
+		_ = s.m.Mem.WriteInt(addr, v, n) // fires the barrier itself
+		return
+	}
+	s.m.Mem.FireBarrier(addr, n)
+	idx := addr / emu.PageSize
+	pg := s.stPage
+	if pg == nil || idx != s.stIdx {
+		pg = s.m.Mem.PageSlice(addr, true)
+		s.stIdx, s.stPage = idx, pg
+	}
+	switch n {
+	case 8:
+		binary.LittleEndian.PutUint64(pg[off:], v)
+	case 4:
+		binary.LittleEndian.PutUint32(pg[off:], uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(pg[off:], uint16(v))
+	default:
+		pg[off] = byte(v)
+	}
+}
+
+// push mirrors Machine.push: RSP moves first, then the Mem cycle,
+// then the store (which cannot fault).
+func (s *state) push(v uint64) {
+	m := s.m
+	sp := m.Regs[x86.RSP] - 8
+	m.Regs[x86.RSP] = sp
+	m.Counters.Cycles += m.Cost.Mem
+	s.store(sp, v, 8)
+}
+
+// pop mirrors Machine.pop: the read happens (and may fault) before
+// RSP moves and before the Mem cycle is charged.
+func (s *state) pop() (uint64, error) {
+	m := s.m
+	v, err := s.load(m.Regs[x86.RSP], 8)
+	if err != nil {
+		return 0, err
+	}
+	m.Regs[x86.RSP] += 8
+	m.Counters.Cycles += m.Cost.Mem
+	return v, nil
+}
+
+// branch mirrors Machine.branch: taken-branch and far-jump accounting,
+// returning the target RIP.
+func (s *state) branch(from, target uint64) uint64 {
+	m := s.m
+	m.Counters.TakenBranches++
+	m.Counters.Cycles += m.Cost.BranchTaken
+	dist := target - from
+	if int64(dist) < 0 {
+		dist = -dist
+	}
+	if dist > m.Cost.FarDistance {
+		m.Counters.FarJumps++
+		m.Counters.Cycles += m.Cost.FarJump
+	}
+	return target
+}

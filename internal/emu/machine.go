@@ -27,8 +27,9 @@ const (
 	FlagDF uint64 = 1 << 10
 	FlagOF uint64 = 1 << 11
 
-	// flagsAlways is the always-set reserved bit 1 plus IF.
-	flagsAlways uint64 = 1<<1 | 1<<9
+	// FlagsAlways is the always-set reserved bit 1 plus IF. Exported
+	// for engines that reconstruct RFLAGS (popfq, flag materialization).
+	FlagsAlways uint64 = 1<<1 | 1<<9
 )
 
 // CostModel assigns cycle weights to dynamic events. The defaults are
@@ -255,7 +256,7 @@ func NewMachine() *Machine {
 	return &Machine{
 		Mem:      NewMemory(),
 		Cost:     DefaultCost(),
-		Flags:    flagsAlways,
+		Flags:    FlagsAlways,
 		Runtime:  make(map[uint64]RuntimeFn),
 		SigTab:   make(map[uint64]uint64),
 		ExitAddr: ExitSentinel,

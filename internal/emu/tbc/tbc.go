@@ -33,9 +33,10 @@ import (
 // keeps the abort-on-flush granularity small.
 const MaxBlockInsts = 64
 
-// termAttrs marks instructions that may not fall through to the next
-// sequential address: they terminate a block.
-const termAttrs = x86.AttrJump | x86.AttrCondJump | x86.AttrCall |
+// TermAttrs marks instructions that may not fall through to the next
+// sequential address: they terminate a block. Exported for engines
+// built on the DecodeBlock seam.
+const TermAttrs = x86.AttrJump | x86.AttrCondJump | x86.AttrCall |
 	x86.AttrRet | x86.AttrStop | x86.AttrInt3
 
 // Block is one translated run of straight-line code.
@@ -67,10 +68,9 @@ type Stats struct {
 // single Machine's memory via the write barrier; create one per
 // machine (workload.NewMachine does).
 type Engine struct {
-	blocks    map[uint64]*Block
-	codePages map[uint64]struct{}
-	mem       *emu.Memory // memory the write barrier is installed on
-	flushed   bool        // set by the barrier, checked mid-block
+	blocks map[uint64]*Block
+	trk    *CodeTracker // shared invalidation seam (also used by emu/ir)
+	mem    *emu.Memory  // memory the write barrier is installed on
 
 	// Stats accumulates cache events across Run calls.
 	Stats Stats
@@ -78,57 +78,26 @@ type Engine struct {
 
 // New returns an empty translation cache.
 func New() *Engine {
-	return &Engine{
-		blocks:    make(map[uint64]*Block),
-		codePages: make(map[uint64]struct{}),
-	}
+	e := &Engine{blocks: make(map[uint64]*Block)}
+	e.trk = NewCodeTracker(func() {
+		clear(e.blocks)
+		e.Stats.Flushes++
+	})
+	return e
 }
 
-// invalidate is the Memory write barrier: a store into any page that
-// holds translated bytes drops the whole cache. Full flush keeps chain
-// pointers trivially safe — no stale block survives to be chained into.
-func (e *Engine) invalidate(addr, size uint64) {
-	if len(e.codePages) == 0 || size == 0 {
-		return
-	}
-	for p := addr / emu.PageSize; p <= (addr+size-1)/emu.PageSize; p++ {
-		if _, ok := e.codePages[p]; ok {
-			e.flush()
-			return
-		}
-	}
+func init() {
+	emu.RegisterEngine("tbc", func() emu.Engine { return New() })
 }
 
-func (e *Engine) flush() {
-	clear(e.blocks)
-	clear(e.codePages)
-	e.flushed = true
-	e.Stats.Flushes++
-}
-
-// translate decodes the block starting at pc and caches it. A decode
-// failure at pc itself is reported exactly as the interpreter's fetch
-// would report it; a failure later in the run just ends the block
-// early, so the error (if execution ever falls through to it) is
-// raised lazily at the address the interpreter would raise it.
+// translate decodes the block starting at pc (via the shared
+// DecodeBlock seam) and caches it.
 func (e *Engine) translate(m *emu.Machine, pc uint64) (*Block, error) {
-	b := &Block{start: pc}
-	for {
-		raw, _ := m.Mem.ReadBytes(pc, 15)
-		inst, err := x86.Decode(raw, pc)
-		if err != nil {
-			if len(b.insts) == 0 {
-				return nil, fmt.Errorf("emu: at %#x: %w", pc, err)
-			}
-			break
-		}
-		b.insts = append(b.insts, inst)
-		pc += uint64(inst.Len)
-		if inst.Attrs&termAttrs != 0 || len(b.insts) >= MaxBlockInsts {
-			break
-		}
+	insts, end, err := DecodeBlock(m, pc)
+	if err != nil {
+		return nil, err
 	}
-	b.end = pc
+	b := &Block{start: pc, end: end, insts: insts}
 
 	// Static successors for chaining: the fallthrough address (taken
 	// after a not-taken jcc, a size-capped block, or a call's eventual
@@ -139,9 +108,7 @@ func (e *Engine) translate(m *emu.Machine, pc uint64) (*Block, error) {
 	}
 
 	e.blocks[b.start] = b
-	for p := b.start / emu.PageSize; p <= (b.end-1)/emu.PageSize; p++ {
-		e.codePages[p] = struct{}{}
-	}
+	e.trk.Track(b.start, b.end)
 	e.Stats.Translations++
 	return b, nil
 }
@@ -153,12 +120,12 @@ func (e *Engine) Run(m *emu.Machine, maxInst uint64) error {
 		// First run (or the machine's memory was swapped): bind the
 		// write barrier and start from an empty cache.
 		if e.mem != nil {
-			e.flush()
+			e.trk.Flush()
 		}
 		e.mem = m.Mem
-		m.Mem.SetWriteBarrier(e.invalidate)
+		m.Mem.SetWriteBarrier(e.trk.Invalidate)
 	}
-	e.flushed = false
+	e.trk.Flushed = false
 
 	var prev *Block // block whose terminator brought us here, for chaining
 	for !m.Halted() {
@@ -172,11 +139,11 @@ func (e *Engine) Run(m *emu.Machine, maxInst uint64) error {
 			continue
 		}
 
-		if e.flushed {
+		if e.trk.Flushed {
 			// A flush raised outside block execution (e.g. a runtime
 			// call wrote into translated code): prev points into the
 			// dropped generation, so it must not seed chaining.
-			e.flushed = false
+			e.trk.Flushed = false
 			prev = nil
 		}
 
@@ -230,12 +197,12 @@ func (e *Engine) Run(m *emu.Machine, maxInst uint64) error {
 			if m.Halted() {
 				break
 			}
-			if e.flushed {
+			if e.trk.Flushed {
 				// A store landed in translated code. The rest of this
 				// block may hold stale bytes: abandon it and re-decode
 				// from the post-store RIP, exactly what the
 				// interpreter's per-step fetch would observe.
-				e.flushed = false
+				e.trk.Flushed = false
 				prev = nil
 				break
 			}

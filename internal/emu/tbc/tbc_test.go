@@ -1,9 +1,6 @@
 package tbc_test
 
 import (
-	"encoding/binary"
-	"errors"
-	"reflect"
 	"testing"
 	"time"
 
@@ -14,26 +11,11 @@ import (
 	"e9patch/internal/x86"
 )
 
-// finalState is everything observable about a finished machine.
-type finalState struct {
-	Regs     [16]uint64
-	RIP      uint64
-	Flags    uint64
-	ExitCode uint64
-	Counters emu.Counters
-	Output   []uint64
-}
-
-func stateOf(m *emu.Machine) finalState {
-	return finalState{
-		Regs:     m.Regs,
-		RIP:      m.RIP,
-		Flags:    m.Flags,
-		ExitCode: m.ExitCode,
-		Counters: m.Counters,
-		Output:   m.Output,
-	}
-}
+// The cross-engine behavioural tests (profile/dromaeo agreement,
+// self-modifying code, mutating tracers, budget-error parity, flag
+// stress) live in internal/emu/enginetest and run against every
+// registered engine. This file keeps what is specific to tbc: its
+// cache statistics and its speedup gate.
 
 // runProgram executes an ELF image under the given engine (nil = the
 // interpreter) and returns the machine.
@@ -51,242 +33,6 @@ func runProgram(t *testing.T, elf []byte, eng emu.Engine) *emu.Machine {
 		t.Fatal(err)
 	}
 	return m
-}
-
-func diffStates(t *testing.T, name string, interp, cached finalState) {
-	t.Helper()
-	if !reflect.DeepEqual(interp, cached) {
-		t.Errorf("%s: engines diverged:\ninterp: %+v\ntbc:    %+v", name, interp, cached)
-	}
-}
-
-// TestEnginesAgreeOnAllProfiles is the acceptance gate: for every
-// Table 1 profile, the interpreter and the translation cache produce
-// byte-identical Counters, ExitCode, registers, flags and output on
-// the profile's (density-tuned) kernel. Non-SPEC rows have no Time%
-// kernel in the paper; they run the branchy archetype with their own
-// tuning so every profile still contributes a distinct workload.
-func TestEnginesAgreeOnAllProfiles(t *testing.T) {
-	saved := workload.KernelIters
-	workload.KernelIters = 2000
-	defer func() { workload.KernelIters = saved }()
-
-	for _, p := range workload.AllProfiles() {
-		kernel := p.Kernel
-		if kernel == "" {
-			kernel = "branchy"
-		}
-		prog, err := workload.BuildKernelTuned(kernel, p.Kind == workload.KindPIE, workload.TuningFor(p))
-		if err != nil {
-			t.Fatalf("%s: %v", p.Name, err)
-		}
-		interp := runProgram(t, prog.ELF, nil)
-		cached := runProgram(t, prog.ELF, tbc.New())
-		diffStates(t, p.Name, stateOf(interp), stateOf(cached))
-		if cached.Counters.Instructions == 0 {
-			t.Fatalf("%s: kernel retired no instructions", p.Name)
-		}
-	}
-}
-
-// TestEnginesAgreeOnDromaeo covers the runtime-call-heavy Figure 4
-// programs (JIT episodes exercise StepSpecial between blocks).
-func TestEnginesAgreeOnDromaeo(t *testing.T) {
-	saved := workload.KernelIters
-	workload.KernelIters = 1500
-	defer func() { workload.KernelIters = saved }()
-
-	for _, s := range workload.DromaeoSuites {
-		for _, jit := range []int{8, 55} {
-			prog, err := workload.BuildDromaeo(s, true, jit)
-			if err != nil {
-				t.Fatalf("%s: %v", s.Name, err)
-			}
-			interp := runProgram(t, prog.ELF, nil)
-			cached := runProgram(t, prog.ELF, tbc.New())
-			diffStates(t, s.Name, stateOf(interp), stateOf(cached))
-		}
-	}
-}
-
-// rawMachine builds a machine with text written at base, no ELF.
-func rawMachine(eng emu.Engine, base uint64, text []byte) *emu.Machine {
-	m := emu.NewMachine()
-	m.Engine = eng
-	m.Mem.WriteBytes(base, text)
-	m.SetupStack(workload.StackTop, workload.StackSize)
-	m.RIP = base
-	return m
-}
-
-// TestSelfModifyingPatchLoop overwrites an instruction's immediate from
-// a later iteration's perspective: iteration 0 executes `add rax, 1`,
-// then the loop body patches the immediate byte to 5, so iterations 1
-// and 2 must add 5. Both engines have to observe the new bytes; tbc
-// must flush the translated page.
-func TestSelfModifyingPatchLoop(t *testing.T) {
-	const base = 0x401000
-	build := func() []byte {
-		a := x86.NewAsm(base)
-		a.XorRegReg32(x86.RAX, x86.RAX)
-		a.XorRegReg32(x86.RCX, x86.RCX)
-		top := a.NewLabel()
-		a.Bind(top)
-		site := a.Addr()
-		a.AddRegImm64(x86.RAX, 1) // imm low byte at site+3, patched below
-		a.MovRegImm64(x86.RBX, site+3)
-		a.MovMemImm8(x86.M(x86.RBX, 0), 5)
-		a.AddRegImm64(x86.RCX, 1)
-		a.CmpRegImm64(x86.RCX, 3)
-		a.Jcc(x86.CondL, top)
-		a.Ret()
-		return a.MustFinish()
-	}
-	text := build()
-
-	interp := rawMachine(nil, base, text)
-	if err := interp.Run(10_000); err != nil {
-		t.Fatal(err)
-	}
-	eng := tbc.New()
-	cached := rawMachine(eng, base, text)
-	if err := cached.Run(10_000); err != nil {
-		t.Fatal(err)
-	}
-
-	if interp.ExitCode != 11 { // 1 + 5 + 5
-		t.Errorf("interp exit = %d, want 11", interp.ExitCode)
-	}
-	diffStates(t, "patch-loop", stateOf(interp), stateOf(cached))
-	if eng.Stats.Flushes == 0 {
-		t.Error("tbc never flushed despite stores into translated code")
-	}
-}
-
-// TestSelfModifyingSameBlock stores a hlt opcode over the very next
-// instruction in the same straight-line run. The interpreter's per-step
-// fetch sees the new byte immediately; tbc must abort the current block
-// mid-flight and re-translate, or it would run the stale tail
-// (`mov rax, 99`) and exit 99 instead of 7.
-func TestSelfModifyingSameBlock(t *testing.T) {
-	const base = 0x401000
-	a := x86.NewAsm(base)
-	a.MovRegImm32(x86.RAX, 7)
-	movOff := a.Len()
-	a.MovRegImm64(x86.RBX, 0) // imm patched to siteAddr after assembly
-	a.MovMemImm8(x86.M(x86.RBX, 0), 0xF4)
-	siteAddr := a.Addr()
-	a.Nop() // becomes hlt before it executes
-	a.MovRegImm32(x86.RAX, 99)
-	a.Ret()
-	text := a.MustFinish()
-	binary.LittleEndian.PutUint64(text[movOff+2:], siteAddr)
-
-	interp := rawMachine(nil, base, text)
-	if err := interp.Run(10_000); err != nil {
-		t.Fatal(err)
-	}
-	eng := tbc.New()
-	cached := rawMachine(eng, base, text)
-	if err := cached.Run(10_000); err != nil {
-		t.Fatal(err)
-	}
-
-	if interp.ExitCode != 7 {
-		t.Errorf("interp exit = %d, want 7", interp.ExitCode)
-	}
-	diffStates(t, "same-block", stateOf(interp), stateOf(cached))
-	if eng.Stats.Flushes == 0 {
-		t.Error("tbc never flushed despite overwriting the current block")
-	}
-}
-
-// TestMutatingTracerParity drives both engines with a tracer that
-// corrupts the immediate of the first add-immediate instruction it sees
-// at each address. The interpreter re-decodes every step, so the
-// corruption applies exactly once per address; tbc must hand the tracer
-// (and execute) a private copy, or the mutation would be baked into the
-// cache and every later iteration would diverge.
-func TestMutatingTracerParity(t *testing.T) {
-	saved := workload.KernelIters
-	workload.KernelIters = 500
-	defer func() { workload.KernelIters = saved }()
-	prog, err := workload.BuildKernel("branchy", false)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	run := func(eng emu.Engine) (*emu.Machine, []uint64) {
-		m := workload.NewMachine(nil)
-		m.Engine = eng
-		entry, err := loader.BuildImage(m, prog.ELF, loader.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		seen := map[uint64]bool{}
-		var addrs []uint64
-		m.Trace = func(inst *x86.Inst) {
-			addrs = append(addrs, inst.Addr)
-			// First sight of an `add r, imm8` at this address: bump the
-			// immediate. Affects exactly this one execution.
-			if !seen[inst.Addr] && inst.Opcode == 0x83 && (inst.ModRM>>3)&7 == 0 && inst.ImmSize == 1 {
-				seen[inst.Addr] = true
-				inst.Bytes[inst.ImmOff]++
-			}
-		}
-		m.RIP = entry
-		if err := m.Run(100_000_000); err != nil {
-			t.Fatal(err)
-		}
-		return m, addrs
-	}
-
-	interp, interpAddrs := run(nil)
-	cached, cachedAddrs := run(tbc.New())
-	diffStates(t, "mutating-tracer", stateOf(interp), stateOf(cached))
-	if !reflect.DeepEqual(interpAddrs, cachedAddrs) {
-		t.Errorf("trace address streams diverged: %d vs %d entries",
-			len(interpAddrs), len(cachedAddrs))
-	}
-}
-
-// TestBudgetErrorParity: exhausting the instruction budget must produce
-// the identical error (message included) and identical machine state
-// under both engines, for budgets landing at arbitrary points within
-// and between blocks.
-func TestBudgetErrorParity(t *testing.T) {
-	saved := workload.KernelIters
-	workload.KernelIters = 5000
-	defer func() { workload.KernelIters = saved }()
-	prog, err := workload.BuildKernel("callheavy", false)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	for _, budget := range []uint64{1, 7, 100, 1001, 4096} {
-		run := func(eng emu.Engine) (*emu.Machine, error) {
-			m := workload.NewMachine(nil)
-			m.Engine = eng
-			entry, err := loader.BuildImage(m, prog.ELF, loader.Options{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			m.RIP = entry
-			return m, m.Run(budget)
-		}
-		interp, ierr := run(nil)
-		cached, cerr := run(tbc.New())
-		if ierr == nil || cerr == nil {
-			t.Fatalf("budget %d: expected both engines to exhaust (interp=%v tbc=%v)", budget, ierr, cerr)
-		}
-		if !errors.Is(cerr, emu.ErrMaxInstructions) {
-			t.Errorf("budget %d: tbc error %v is not ErrMaxInstructions", budget, cerr)
-		}
-		if ierr.Error() != cerr.Error() {
-			t.Errorf("budget %d: error mismatch:\ninterp: %v\ntbc:    %v", budget, ierr, cerr)
-		}
-		diffStates(t, "budget", stateOf(interp), stateOf(cached))
-	}
 }
 
 // TestChainingStats checks that the cache actually behaves like a
@@ -318,6 +64,44 @@ func TestChainingStats(t *testing.T) {
 	}
 	if s.Flushes != 0 {
 		t.Errorf("%d spurious flushes on non-self-modifying code", s.Flushes)
+	}
+}
+
+// TestSMCFlushStats: behavioural parity on self-modifying code is
+// checked in enginetest; here we assert the mechanism — stores into
+// translated pages must actually flush the cache, not merely get
+// lucky with stale-but-equal bytes.
+func TestSMCFlushStats(t *testing.T) {
+	const base = 0x401000
+	a := x86.NewAsm(base)
+	a.XorRegReg32(x86.RAX, x86.RAX)
+	a.XorRegReg32(x86.RCX, x86.RCX)
+	top := a.NewLabel()
+	a.Bind(top)
+	site := a.Addr()
+	a.AddRegImm64(x86.RAX, 1) // imm low byte at site+3, patched below
+	a.MovRegImm64(x86.RBX, site+3)
+	a.MovMemImm8(x86.M(x86.RBX, 0), 5)
+	a.AddRegImm64(x86.RCX, 1)
+	a.CmpRegImm64(x86.RCX, 3)
+	a.Jcc(x86.CondL, top)
+	a.Ret()
+	text := a.MustFinish()
+
+	eng := tbc.New()
+	m := emu.NewMachine()
+	m.Engine = eng
+	m.Mem.WriteBytes(base, text)
+	m.SetupStack(workload.StackTop, workload.StackSize)
+	m.RIP = base
+	if err := m.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 11 { // 1 + 5 + 5
+		t.Errorf("exit = %d, want 11", m.ExitCode)
+	}
+	if eng.Stats.Flushes == 0 {
+		t.Error("tbc never flushed despite stores into translated code")
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"e9patch/internal/emu"
-	"e9patch/internal/emu/tbc"
 	"e9patch/internal/loader"
 	"e9patch/internal/workload"
 )
@@ -30,24 +29,28 @@ func EmuThroughput() (uint64, time.Duration) {
 	return emulated.inst, emulated.dur
 }
 
-// EngineSpeed compares raw emulation throughput of the two execution
+// EngineSpeed compares raw emulation throughput of the three execution
 // engines on the same workload. The counters are asserted identical
-// before the numbers are reported, so the speedup is pure
-// implementation win, never a semantic difference.
+// across all engines before the numbers are reported, so the speedups
+// are pure implementation wins, never a semantic difference.
 type EngineSpeed struct {
-	// Instructions retired per run (identical for both engines).
+	// Instructions retired per run (identical for every engine).
 	Instructions uint64
-	// InterpIPS / TBCIPS are wall-clock instructions per second.
+	// InterpIPS / TBCIPS / IRIPS are wall-clock instructions per second
+	// for the decode-per-step interpreter, the tbc translation cache,
+	// and the IR-lifting engine.
 	InterpIPS float64
 	TBCIPS    float64
-	// Speedup is TBCIPS / InterpIPS.
-	Speedup float64
+	IRIPS     float64
+	// Speedup is TBCIPS / InterpIPS; IRSpeedup is IRIPS / InterpIPS.
+	Speedup   float64
+	IRSpeedup float64
 }
 
 // MeasureEngines runs the largest benchmark kernel (memstream: the
-// highest dynamic instruction count per iteration) under the
-// interpreter and the tbc translation cache and reports wall-clock
-// throughput. Each engine gets trials runs; the best run counts.
+// highest dynamic instruction count per iteration) under every
+// registered engine and reports wall-clock throughput. Each engine
+// gets trials runs; the best run counts.
 func MeasureEngines(opt Options) (EngineSpeed, error) {
 	opt = opt.withDefaults()
 	iters := opt.Iters
@@ -64,12 +67,16 @@ func MeasureEngines(opt Options) (EngineSpeed, error) {
 	}
 
 	const trials = 3
-	measure := func(mk func() emu.Engine) (float64, emu.Counters, error) {
+	measure := func(name string) (float64, emu.Counters, error) {
 		best := 0.0
 		var counters emu.Counters
 		for t := 0; t < trials; t++ {
 			m := workload.NewMachine(nil)
-			m.Engine = mk()
+			eng, err := emu.NewEngineByName(name)
+			if err != nil {
+				return 0, counters, err
+			}
+			m.Engine = eng
 			entry, err := loader.BuildImage(m, prog.ELF, loader.Options{})
 			if err != nil {
 				return 0, counters, err
@@ -90,21 +97,27 @@ func MeasureEngines(opt Options) (EngineSpeed, error) {
 		return best, counters, nil
 	}
 
-	interpIPS, ic, err := measure(func() emu.Engine { return nil })
+	interpIPS, ic, err := measure("interp")
 	if err != nil {
 		return EngineSpeed{}, err
 	}
-	tbcIPS, tc, err := measure(func() emu.Engine { return tbc.New() })
+	tbcIPS, tc, err := measure("tbc")
 	if err != nil {
 		return EngineSpeed{}, err
 	}
-	if ic != tc {
-		return EngineSpeed{}, fmt.Errorf("eval: engines diverged on the speed workload:\ninterp %+v\ntbc    %+v", ic, tc)
+	irIPS, rc, err := measure("ir")
+	if err != nil {
+		return EngineSpeed{}, err
+	}
+	if ic != tc || ic != rc {
+		return EngineSpeed{}, fmt.Errorf("eval: engines diverged on the speed workload:\ninterp %+v\ntbc    %+v\nir     %+v", ic, tc, rc)
 	}
 	return EngineSpeed{
 		Instructions: ic.Instructions,
 		InterpIPS:    interpIPS,
 		TBCIPS:       tbcIPS,
+		IRIPS:        irIPS,
 		Speedup:      tbcIPS / interpIPS,
+		IRSpeedup:    irIPS / interpIPS,
 	}, nil
 }

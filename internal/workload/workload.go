@@ -19,7 +19,8 @@ import (
 
 	"e9patch/internal/elf64"
 	"e9patch/internal/emu"
-	"e9patch/internal/emu/tbc"
+	_ "e9patch/internal/emu/ir"  // register the "ir" engine
+	_ "e9patch/internal/emu/tbc" // register the "tbc" engine
 	"e9patch/internal/x86"
 )
 
@@ -85,20 +86,23 @@ func BindStandard(m *emu.Machine) {
 	emu.BindNop(m, RTFree)
 }
 
-// Engine selects the execution engine NewMachine installs: "tbc"
-// (decode-once translation cache, the default) or "interp" (the
-// decode-per-step interpreter). The two are observationally identical
-// — tbc only runs faster — so every measurement is engine-invariant;
-// cmd/e9bench's -engine flag sets this for fallback runs.
+// Engine selects the execution engine NewMachine installs, by registry
+// name (emu.EngineNames): "tbc" (decode-once translation cache, the
+// default), "ir" (IR-lifting engine with lazy flags), or "interp" (the
+// decode-per-step interpreter). All engines are observationally
+// identical — they only differ in speed — so every measurement is
+// engine-invariant; cmd/e9bench's -engine flag sets this.
 var Engine = "tbc"
 
 // NewMachine prepares a machine with the standard runtime bindings and
 // stack. The caller loads a binary and sets RIP.
 func NewMachine(bind MallocBinding) *emu.Machine {
 	m := emu.NewMachine()
-	if Engine != "interp" {
-		m.Engine = tbc.New()
+	eng, err := emu.NewEngineByName(Engine)
+	if err != nil {
+		panic(err) // Engine is set programmatically; a bad name is a bug
 	}
+	m.Engine = eng
 	emu.BindOutput(m, RTOutput)
 	emu.BindExit(m, RTExit)
 	if bind == nil {

@@ -408,6 +408,12 @@ func (a *Asm) AddRegReg64(dst, src Reg) { a.aluRegReg64(0x01, dst, src) }
 // SubRegReg64 emits sub dst, src.
 func (a *Asm) SubRegReg64(dst, src Reg) { a.aluRegReg64(0x29, dst, src) }
 
+// AdcRegReg64 emits adc dst, src.
+func (a *Asm) AdcRegReg64(dst, src Reg) { a.aluRegReg64(0x11, dst, src) }
+
+// SbbRegReg64 emits sbb dst, src.
+func (a *Asm) SbbRegReg64(dst, src Reg) { a.aluRegReg64(0x19, dst, src) }
+
 // AndRegReg64 emits and dst, src.
 func (a *Asm) AndRegReg64(dst, src Reg) { a.aluRegReg64(0x21, dst, src) }
 
@@ -450,6 +456,12 @@ func (a *Asm) AddRegImm64(dst Reg, imm int32) { a.aluRegImm64(0, dst, imm) }
 
 // OrRegImm64 emits or dst, imm.
 func (a *Asm) OrRegImm64(dst Reg, imm int32) { a.aluRegImm64(1, dst, imm) }
+
+// AdcRegImm64 emits adc dst, imm.
+func (a *Asm) AdcRegImm64(dst Reg, imm int32) { a.aluRegImm64(2, dst, imm) }
+
+// SbbRegImm64 emits sbb dst, imm.
+func (a *Asm) SbbRegImm64(dst Reg, imm int32) { a.aluRegImm64(3, dst, imm) }
 
 // AndRegImm64 emits and dst, imm.
 func (a *Asm) AndRegImm64(dst Reg, imm int32) { a.aluRegImm64(4, dst, imm) }
@@ -559,6 +571,28 @@ func (a *Asm) NotReg64(dst Reg) {
 	a.Raw(0xF7)
 	a.modRMReg(2, dst)
 }
+
+// Setcc emits setcc dst8. For rsp..rdi a bare REX prefix is emitted so
+// the encoding selects spl..dil rather than the legacy high-byte
+// registers.
+func (a *Asm) Setcc(cc Cond, dst Reg) {
+	if dst >= RSP && dst <= RDI {
+		a.Raw(0x40)
+	} else {
+		a.rex(false, NoReg, NoReg, dst)
+	}
+	a.Raw(0x0F, 0x90|byte(cc))
+	a.modRMReg(0, dst)
+}
+
+// Cmc emits cmc (complement carry flag).
+func (a *Asm) Cmc() { a.Raw(0xF5) }
+
+// Clc emits clc (clear carry flag).
+func (a *Asm) Clc() { a.Raw(0xF8) }
+
+// Stc emits stc (set carry flag).
+func (a *Asm) Stc() { a.Raw(0xF9) }
 
 // TestMemImm8 emits test byte [m], imm8 — the victim instruction shape
 // from the paper's Figure 2 (testb $0x2,0x18(%rbx)).

@@ -31,6 +31,16 @@ func TestAsmKnownEncodings(t *testing.T) {
 		{"lea rax,(rbx,rcx,4)", func(a *Asm) { a.Lea(RAX, MIdx(RBX, RCX, 4, 0)) },
 			[]byte{0x48, 0x8D, 0x04, 0x8B}},
 		{"xor eax,eax", func(a *Asm) { a.XorRegReg32(RAX, RAX) }, []byte{0x31, 0xC0}},
+		{"adc rcx,rax", func(a *Asm) { a.AdcRegReg64(RCX, RAX) }, []byte{0x48, 0x11, 0xC1}},
+		{"sbb rcx,rax", func(a *Asm) { a.SbbRegReg64(RCX, RAX) }, []byte{0x48, 0x19, 0xC1}},
+		{"adc rax,1", func(a *Asm) { a.AdcRegImm64(RAX, 1) }, []byte{0x48, 0x83, 0xD0, 0x01}},
+		{"sbb rax,1", func(a *Asm) { a.SbbRegImm64(RAX, 1) }, []byte{0x48, 0x83, 0xD8, 0x01}},
+		{"sete al", func(a *Asm) { a.Setcc(CondE, RAX) }, []byte{0x0F, 0x94, 0xC0}},
+		{"setb sil", func(a *Asm) { a.Setcc(CondB, RSI) }, []byte{0x40, 0x0F, 0x92, 0xC6}},
+		{"setg r9b", func(a *Asm) { a.Setcc(CondG, R9) }, []byte{0x41, 0x0F, 0x9F, 0xC1}},
+		{"cmc", func(a *Asm) { a.Cmc() }, []byte{0xF5}},
+		{"clc", func(a *Asm) { a.Clc() }, []byte{0xF8}},
+		{"stc", func(a *Asm) { a.Stc() }, []byte{0xF9}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -160,6 +170,14 @@ func TestAsmDecodeRoundTrip(t *testing.T) {
 		func(a *Asm) { a.SubRegImm64(anyReg(), int32(rng.Intn(1<<16)-1<<15)) },
 		func(a *Asm) { a.CmpRegImm64(anyReg(), int32(rng.Intn(1<<16)-1<<15)) },
 		func(a *Asm) { a.AndRegImm64(anyReg(), int32(rng.Intn(1<<16)-1<<15)) },
+		func(a *Asm) { a.AdcRegReg64(anyReg(), anyReg()) },
+		func(a *Asm) { a.SbbRegReg64(anyReg(), anyReg()) },
+		func(a *Asm) { a.AdcRegImm64(anyReg(), int32(rng.Intn(1<<16)-1<<15)) },
+		func(a *Asm) { a.SbbRegImm64(anyReg(), int32(rng.Intn(1<<16)-1<<15)) },
+		func(a *Asm) { a.Setcc(Cond(rng.Intn(16)), anyReg()) },
+		func(a *Asm) { a.Cmc() },
+		func(a *Asm) { a.Clc() },
+		func(a *Asm) { a.Stc() },
 		func(a *Asm) { a.AddMemReg64(anyMem(), anyReg()) },
 		func(a *Asm) { a.AddMemReg32(anyMem(), anyReg()) },
 		func(a *Asm) { a.AddRegMem64(anyReg(), anyMem()) },
