@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest enginecheck plancheck speccheck rpccheck bench bench-json bench-parallel bench-plancache bench-match bench-stream servertest fuzzshort fuzzhostile ci
+.PHONY: all build fmt vet test race difftest enginecheck plancheck speccheck rpccheck disasmcheck bench bench-json bench-parallel bench-plancache bench-match bench-stream bench-disasm servertest fuzzshort fuzzhostile ci
 
 all: build test
 
@@ -70,9 +70,9 @@ bench:
 
 # bench-json regenerates every machine-readable BENCH_*.json artefact
 # (the perf trajectory): engine throughput, parallel scaling, the
-# plan-cache speedup, the spec-matcher cost, and the streaming memory
-# bound.
-bench-json: bench-parallel bench-plancache bench-match bench-stream
+# plan-cache speedup, the spec-matcher cost, the streaming memory
+# bound, and the per-disassembly-mode recovery sweep.
+bench-json: bench-parallel bench-plancache bench-match bench-stream bench-disasm
 	$(GO) run ./cmd/e9bench -enginespeed -json BENCH_engines.json
 
 # bench-parallel records the rewrite-phase scaling curve (widths 1..8)
@@ -112,6 +112,29 @@ rpccheck:
 	$(GO) test ./internal/rpc/
 	$(GO) test -run 'TestStreamEndpoint' -count 1 ./internal/server/
 
+# disasmcheck gates the pluggable recovery frontends: linear
+# byte-identity at every width, the superset ⊇ linear differential over
+# every workload profile, the CET anchor-closure unit and profile
+# suites, end-to-end superset-cet rewrites of CET and DSO binaries
+# verified under the emulator, plan↔mode digest binding, the .so
+# builder/parser geometry, the modern workload rows, and a short
+# exploration of the superset-prune fuzzer.
+disasmcheck:
+	$(GO) test ./internal/disasm/
+	$(GO) test -run 'TestDisasm|TestSupersetCETRewriteEquivalent|TestDSORewriteEquivalent|TestPlanModeBinding|TestSupersetRewriteReportsStats' .
+	$(GO) test -run 'TestSharedBuildRoundTrip|TestInitSegmentSpans|TestTextRange|TestExecSpans|TestBuildBackCompat' ./internal/elf64/
+	$(GO) test -run 'TestModernProfiles|TestPaperSharedRowsUnchanged' ./internal/workload/
+	$(GO) test -run 'TestSpecDisasm' ./internal/server/
+	$(GO) test -run 'TestSessionDisasmOption' ./internal/rpc/
+	$(GO) test -run '^FuzzSupersetPrune$$' -fuzz '^FuzzSupersetPrune$$' -fuzztime 5s ./internal/disasm/
+
+# bench-disasm records the per-mode recovery benchmark: instruction
+# counts (decoded/valid/kept), the CET prune ratio, plan sites and
+# rewrite throughput for each disassembly mode over a paper-era row
+# plus the CET and DSO profiles.
+bench-disasm:
+	$(GO) run ./cmd/e9bench -disasm -json BENCH_disasm.json
+
 # servertest is the e9served smoke test: build the real binary, start
 # it on an ephemeral port, POST a corpus binary, and check the output
 # is byte-identical to a direct e9patch.Rewrite.
@@ -133,4 +156,4 @@ fuzzhostile:
 	$(GO) test -run 'TestHostile|TestLibraryLimits|TestMmapFallbackDifferential' -count 1 .
 	$(GO) test -run '^FuzzRewriteHostileELF$$' -fuzz '^FuzzRewriteHostileELF$$' -fuzztime 10s .
 
-ci: fmt vet race difftest enginecheck plancheck speccheck rpccheck servertest fuzzshort fuzzhostile
+ci: fmt vet race difftest enginecheck plancheck speccheck rpccheck disasmcheck servertest fuzzshort fuzzhostile

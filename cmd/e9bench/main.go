@@ -16,6 +16,7 @@
 //	e9bench -plancache         # plan-cache-hit rematerialization speedup
 //	e9bench -matchlang         # spec-language matcher cost vs hardcoded selectors
 //	e9bench -stream            # zero-copy streaming vs buffered rewrite, 100MB+ binary
+//	e9bench -disasm            # per-mode recovery counts, prune ratio, rewrite throughput
 //	e9bench -all               # everything
 //
 // -scale shrinks the synthetic binaries relative to the paper's sizes
@@ -54,6 +55,34 @@ type jsonReport struct {
 	PlanCache   *planCacheJSON   `json:"planCache,omitempty"`
 	MatchLang   *matchLangJSON   `json:"matchLang,omitempty"`
 	Stream      *streamJSON      `json:"stream,omitempty"`
+	Disasm      *disasmJSON      `json:"disasmModes,omitempty"`
+}
+
+// disasmJSON mirrors eval.DisasmBench for the -disasm run.
+type disasmJSON struct {
+	Scale    float64             `json:"scale"`
+	Profiles []disasmProfileJSON `json:"profiles"`
+}
+
+type disasmProfileJSON struct {
+	Profile string           `json:"profile"`
+	CET     bool             `json:"cet"`
+	DSO     bool             `json:"dso"`
+	TextKB  float64          `json:"textKB"`
+	Rows    []disasmModeJSON `json:"modes"`
+}
+
+type disasmModeJSON struct {
+	Mode       string  `json:"mode"`
+	Recovered  int     `json:"recovered"`
+	Decoded    int     `json:"decoded,omitempty"`
+	Valid      int     `json:"valid,omitempty"`
+	Anchors    int     `json:"anchors,omitempty"`
+	PruneRatio float64 `json:"pruneRatio"`
+	PlanSites  int     `json:"planSites"`
+	Patched    int     `json:"patched"`
+	Seconds    float64 `json:"seconds"`
+	MBPerSec   float64 `json:"mbPerSec"`
 }
 
 // streamJSON mirrors eval.StreamBench for the -stream run.
@@ -159,6 +188,7 @@ func main() {
 		planCch = flag.Bool("plancache", false, "measure plan-cache-hit rematerialization speedup")
 		mtchLng = flag.Bool("matchlang", false, "measure spec-language matcher cost vs hardcoded selectors")
 		strm    = flag.Bool("stream", false, "measure zero-copy streaming vs buffered rewrite on a browser-class binary")
+		disasmB = flag.Bool("disasm", false, "measure recovery counts, prune ratio and throughput per disassembly mode")
 		strmMB  = flag.Int("stream-mb", 120, "-stream: total workload size in MB")
 		strmTxt = flag.Int("stream-text-mb", 16, "-stream: text section size in MB")
 		all     = flag.Bool("all", false, "run every experiment")
@@ -455,6 +485,31 @@ func main() {
 			UnderBudget:       sb.UnderBudget,
 			Identical:         sb.Identical,
 		}
+	}
+
+	if *disasmB || *all {
+		ran = true
+		fmt.Println("== Disassembly modes: recovery, pruning and rewrite throughput ==")
+		db, err := eval.MeasureDisasm(opt, prog)
+		if err != nil {
+			fail(err)
+		}
+		eval.PrintDisasm(os.Stdout, db)
+		fmt.Println()
+		dj := &disasmJSON{Scale: db.Scale}
+		for _, pb := range db.Profiles {
+			pj := disasmProfileJSON{
+				Profile: pb.Profile,
+				CET:     pb.CET,
+				DSO:     pb.DSO,
+				TextKB:  pb.TextKB,
+			}
+			for _, r := range pb.Rows {
+				pj.Rows = append(pj.Rows, disasmModeJSON(r))
+			}
+			dj.Profiles = append(dj.Profiles, pj)
+		}
+		report.Disasm = dj
 	}
 
 	if !ran {

@@ -1,6 +1,8 @@
 // Command e9dump inspects an (original or rewritten) x86-64 ELF
-// binary: sections, linear-disassembly statistics, patch-point counts,
-// and — for rewritten binaries — the appended trampoline blob.
+// binary: sections, instruction-recovery statistics under any disasm
+// mode (-disasm linear|superset|superset-cet, with -occupancy for the
+// superset modes' per-byte coverage summary), patch-point counts, and —
+// for rewritten binaries — the appended trampoline blob.
 //
 // With -spec it instead inspects a spec-language file (internal/lang):
 // the typed AST of each match/exclude expression, the patch directive,
@@ -20,9 +22,11 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 0, "disassemble and print the first N instructions")
-		skip = flag.Uint64("skip", 0, "skip the first N bytes of .text")
-		spec = flag.String("spec", "", "dump the typed AST and shardability of a spec file instead of a binary")
+		n       = flag.Int("n", 0, "disassemble and print the first N instructions")
+		skip    = flag.Uint64("skip", 0, "skip the first N bytes of .text")
+		disasmF = flag.String("disasm", "", "instruction recovery mode: linear (default) | superset | superset-cet")
+		occup   = flag.Bool("occupancy", false, "print the per-byte occupancy summary (superset modes only)")
+		spec    = flag.String("spec", "", "dump the typed AST and shardability of a spec file instead of a binary")
 	)
 	flag.Parse()
 	if *spec != "" {
@@ -55,7 +59,9 @@ func main() {
 	}
 
 	kind := "EXEC (fixed address)"
-	if f.IsPIE() {
+	if f.IsDSO() {
+		kind = "DYN (shared object, no entry point)"
+	} else if f.IsPIE() {
 		kind = "DYN (position independent)"
 	}
 	fmt.Printf("type:    %s\n", kind)
@@ -76,10 +82,61 @@ func main() {
 	if *skip > uint64(len(text)) {
 		fatal(fmt.Errorf("skip beyond .text"))
 	}
-	res := disasm.Linear(text[*skip:], addr+*skip)
+	mode, err := disasm.ParseMode(*disasmF)
+	if err != nil {
+		fatal(err)
+	}
+	if *occup && mode == disasm.ModeLinear {
+		fatal(fmt.Errorf("-occupancy needs a superset mode (-disasm superset or superset-cet)"))
+	}
+
+	var res disasm.Result
+	fmt.Printf("\ndisasm mode:       %s\n", mode)
+	if mode == disasm.ModeLinear {
+		res = disasm.Linear(text[*skip:], addr+*skip)
+	} else {
+		sup := disasm.Superset(text[*skip:], addr+*skip)
+		decoded, valid := sup.Count()
+		var kept []bool
+		if mode == disasm.ModeSupersetCET {
+			var anchors int
+			kept, anchors = sup.CETPrune()
+			res.Insts = sup.KeptInsts(kept)
+			fmt.Printf("superset:          %d decoded, %d valid, %d kept from %d anchors (%.1f%% pruned)\n",
+				decoded, valid, len(res.Insts), anchors, pct(decoded-len(res.Insts), decoded))
+		} else {
+			res.Insts = sup.ValidInsts()
+			fmt.Printf("superset:          %d decoded, %d valid (%.1f%% pruned)\n",
+				decoded, valid, pct(decoded-valid, decoded))
+		}
+		res.BadBytes = sup.BadOffsets()
+		if *occup {
+			// Per-byte occupancy: how many kept instructions cover each
+			// text byte. Zero-occupancy bytes are classified data or
+			// padding; depth >1 marks overlapping candidates that the
+			// patcher's locked-byte discipline arbitrates at patch time.
+			occ := sup.Occupancy(kept)
+			var zero, one, multi, depth int
+			for _, c := range occ {
+				switch {
+				case c == 0:
+					zero++
+				case c == 1:
+					one++
+				default:
+					multi++
+				}
+				if c > depth {
+					depth = c
+				}
+			}
+			fmt.Printf("occupancy:         %d bytes unclaimed (%.1f%%), %d singly covered, %d overlapping (max depth %d)\n",
+				zero, pct(zero, len(occ)), one, multi, depth)
+		}
+	}
 	jumps := disasm.SelectJumps(res.Insts)
 	writes := disasm.SelectHeapWrites(res.Insts)
-	fmt.Printf("\ninstructions:      %d (%d undecodable bytes)\n", len(res.Insts), res.BadBytes)
+	fmt.Printf("instructions:      %d (%d undecodable bytes)\n", len(res.Insts), res.BadBytes)
 	fmt.Printf("jumps (A1):        %d\n", len(jumps))
 	fmt.Printf("heap writes (A2):  %d\n", len(writes))
 
@@ -111,6 +168,13 @@ func main() {
 		in := &res.Insts[i]
 		fmt.Printf("%#10x: %-24x %s\n", in.Addr, in.Bytes, in.String())
 	}
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
 }
 
 func fatal(err error) {

@@ -96,6 +96,7 @@ type backendOptions struct {
 	output      string
 	granularity int
 	skipPrefix  uint64
+	disasm      string
 	b0Fallback  bool
 	counter     uint64
 }
@@ -122,6 +123,9 @@ func runBackend(path, input string, o backendOptions) error {
 	opt := map[string]any{"granularity": o.granularity}
 	if o.skipPrefix != 0 {
 		opt["skipPrefix"] = o.skipPrefix
+	}
+	if o.disasm != "" {
+		opt["disasm"] = o.disasm
 	}
 	if o.b0Fallback {
 		opt["b0Fallback"] = true

@@ -53,6 +53,8 @@ func main() {
 		gran      = flag.Int("granularity", 1, "page grouping granularity (-1 disables)")
 		b0        = flag.Bool("b0-fallback", false, "int3 fallback for unpatchable locations")
 		skip      = flag.Uint64("skip", 0, "skip first N bytes of .text")
+		disasmF   = flag.String("disasm", "", "instruction recovery mode: linear (default) | superset | superset-cet")
+		coverage  = flag.String("coverage", "", "\"full\" patches every recovered instruction (no match expression; pairs with -disasm superset modes)")
 		dryRun    = flag.Bool("dry-run", false, "plan only: report tactics and footprint, write nothing")
 		emitPlan  = flag.String("emit-plan", "", "plan only: write the patch plan JSON to FILE")
 		applyPlan = flag.String("apply-plan", "", "skip planning: replay the patch plan JSON from FILE")
@@ -77,12 +79,23 @@ func main() {
 		os.Exit(2)
 	}
 	useLang := *specFile != "" || *exprM != "" || *patchP != ""
+	fullCov := *coverage == "full"
 	switch {
 	case flag.NArg() != 1:
 		usageErr("exactly one input binary expected")
+	case *coverage != "" && *coverage != "full":
+		usageErr("-coverage takes only \"full\"")
+	case fullCov && (useLang || *expr != ""):
+		usageErr("-coverage=full selects every recovered instruction; it is exclusive with -M/-P/-spec/-match")
 	case *applyPlan != "":
 		if planOnly {
 			usageErr("-apply-plan is exclusive with -dry-run/-emit-plan")
+		}
+		if fullCov {
+			usageErr("-apply-plan replays the plan's recorded selection; -coverage is not applicable")
+		}
+		if *disasmF != "" {
+			usageErr("-apply-plan replays the plan's recorded disassembly mode; -disasm is not applicable")
 		}
 		if *out == "" {
 			usageErr("-apply-plan needs -o")
@@ -91,10 +104,13 @@ func main() {
 		usageErr("-spec is exclusive with -M/-P/-match/-action")
 	case useLang && (*expr != "" || (*action != "empty" && *patchP != "")):
 		usageErr("-M/-P are exclusive with -match/-action")
-	case !useLang && *expr == "":
-		usageErr("-M (or a -spec file, or legacy -match) is required")
+	case !useLang && *expr == "" && !fullCov:
+		usageErr("-M (or a -spec file, legacy -match, or -coverage=full) is required")
 	case *out == "" && !planOnly:
 		usageErr("-o is required (or use -dry-run/-emit-plan)")
+	}
+	if _, err := e9patch.ParseDisasmMode(*disasmF); err != nil {
+		usageErr(err.Error())
 	}
 
 	if *backend != "" {
@@ -104,6 +120,8 @@ func main() {
 		switch {
 		case useLang:
 			usageErr("-backend supports the legacy -match path only (not -M/-P/-spec)")
+		case fullCov:
+			usageErr("-backend selects via a -match expression; -coverage=full is not supported over the wire")
 		case planOnly || *applyPlan != "":
 			usageErr("-backend is exclusive with -dry-run/-emit-plan/-apply-plan")
 		case *maxInputMB != 0 || *maxTextMB != 0 || *maxSites != 0 || *maxTrampMB != 0 || *phaseTimeout != 0:
@@ -126,6 +144,7 @@ func main() {
 			output:      *out,
 			granularity: *gran,
 			skipPrefix:  *skip,
+			disasm:      *disasmF,
 			b0Fallback:  *b0,
 			counter:     counter,
 		}); err != nil {
@@ -162,6 +181,7 @@ func main() {
 	cfg := e9patch.Config{
 		Granularity: *gran,
 		SkipPrefix:  *skip,
+		Disasm:      e9patch.DisasmMode(*disasmF),
 		Patch:       patch.Options{B0Fallback: *b0},
 		Limits: e9patch.Limits{
 			MaxInputBytes:      int64(*maxInputMB) << 20,
@@ -215,11 +235,20 @@ func main() {
 		cfg.Inject = br.Inject
 		cfg.ReserveVA = append(cfg.ReserveVA, br.ReserveVA...)
 	} else {
-		sel, err := e9patch.SelectMatch(*expr)
-		if err != nil {
-			fatal(err)
+		if fullCov {
+			// Full-coverage rewriting: patch every instruction the
+			// recovery frontend produced. With the superset modes this is
+			// the "instrument everything plausible" experiment; overlapping
+			// candidates that contend for the same bytes simply fail to
+			// TacticNone and are reported, never corrupted.
+			cfg.Select = e9patch.SelectAll
+		} else {
+			sel, err := e9patch.SelectMatch(*expr)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Select = sel
 		}
-		cfg.Select = sel
 		switch {
 		case *action == "empty":
 			// default template
@@ -277,6 +306,14 @@ func main() {
 // report prints the post-rewrite summary.
 func report(res *e9patch.Result) {
 	s := res.Stats
+	if res.Disasm != "" && res.Disasm != "linear" {
+		if rec := res.Recovery; rec != nil {
+			fmt.Printf("disasm: %s: %d decoded, %d valid, %d kept (%.1f%% pruned)\n",
+				res.Disasm, rec.Decoded, rec.Valid, rec.Kept, 100*rec.PruneRatio())
+		} else {
+			fmt.Printf("disasm: %s\n", res.Disasm)
+		}
+	}
 	fmt.Printf("matched %d of %d instructions; patched %d (%.2f%%); size %.2f%%\n",
 		s.Total, res.Insts, s.Patched(), s.SuccPercent(), res.SizePercent())
 	fmt.Printf("tactics: B1=%d B2=%d T1=%d T2=%d T3=%d B0=%d failed=%d\n",

@@ -54,6 +54,35 @@ type Pool = work.Pool
 // NewPool creates a worker pool with n slots (n <= 0: GOMAXPROCS).
 func NewPool(n int) *Pool { return work.NewPool(n) }
 
+// DisasmMode selects the instruction-recovery frontend the rewriter
+// runs before matching. Every mode feeds the same downstream pipeline;
+// they differ only in which candidate instructions they recover.
+type DisasmMode = disasm.Mode
+
+// The available recovery frontends.
+const (
+	// DisasmLinear is the classic linear sweep (the default; the zero
+	// value of Config.Disasm selects it). Byte-identical to releases
+	// that predate pluggable modes, at every parallelism width.
+	DisasmLinear = disasm.ModeLinear
+	// DisasmSuperset decodes at every byte offset and keeps the
+	// refined superset — for binaries whose instruction boundaries are
+	// unknown (stripped, or with data interleaved in text).
+	DisasmSuperset = disasm.ModeSuperset
+	// DisasmSupersetCET prunes the superset to the forward closure of
+	// endbr64 landing pads, classifying reachable code on CET-enabled
+	// binaries without control-flow recovery.
+	DisasmSupersetCET = disasm.ModeSupersetCET
+)
+
+// ParseDisasmMode validates a mode name from a flag or wire protocol
+// ("" selects DisasmLinear).
+func ParseDisasmMode(s string) (DisasmMode, error) { return disasm.ParseMode(s) }
+
+// DisasmStats describes what a superset-family frontend recovered;
+// see disasm.SupersetStats.
+type DisasmStats = disasm.SupersetStats
+
 // Selector chooses patch locations among the disassembled instructions.
 type Selector func(insts []x86.Inst) []int
 
@@ -172,6 +201,13 @@ type Config struct {
 	// SkipPrefix disassembles only after the first SkipPrefix bytes of
 	// .text (the paper's ChromeMain workaround for data-in-text).
 	SkipPrefix uint64
+	// Disasm selects the instruction-recovery frontend (DisasmLinear,
+	// DisasmSuperset, DisasmSupersetCET; the zero value is
+	// DisasmLinear). The recovered set is the instruction universe
+	// selectors match over and plans are bound to: a PatchPlan records
+	// the mode plus a digest of the recovered set, and Apply rejects a
+	// plan replayed under a different universe.
+	Disasm DisasmMode
 	// Parallelism bounds the worker goroutines used by the sharded
 	// disassembly, matching and region-parallel patching phases
 	// (default: GOMAXPROCS; 1 runs everything sequentially). The output
@@ -201,9 +237,18 @@ type Result struct {
 	Mappings int
 	// InputSize and OutputSize are the file sizes in bytes.
 	InputSize, OutputSize int
-	// Insts is the number of disassembled instructions; BadBytes the
-	// count of undecodable bytes skipped by the linear frontend.
+	// Insts is the number of recovered instructions; BadBytes the count
+	// of undecodable bytes (offsets, for the superset modes) the
+	// frontend skipped.
 	Insts, BadBytes int
+	// Disasm names the instruction-recovery mode the rewrite ran with
+	// ("linear", "superset" or "superset-cet").
+	Disasm string
+	// Recovery carries the superset frontend's decode/prune statistics.
+	// It is nil for linear mode and whenever recovery did not run
+	// in-process (the trusted apply step inside Rewrite replays the
+	// plan's decisions without re-disassembling).
+	Recovery *DisasmStats
 	// Bias is the load bias used during patching (PIEBase for PIE).
 	Bias uint64
 	// Trampolines is the number of trampolines emitted.
@@ -275,12 +320,23 @@ func phaseDeadline(ctx context.Context, d time.Duration) (context.Context, conte
 // trampoline/group → emit) and inside the patching loop, so a rewrite
 // whose caller has gone away stops early instead of emitting an output
 // nobody will read. The returned error wraps ctx.Err() when aborted.
-func RewriteContext(ctx context.Context, input []byte, cfg Config) (*Result, error) {
-	p, err := PlanContext(ctx, input, cfg)
+func RewriteContext(ctx context.Context, input []byte, cfg Config) (_ *Result, err error) {
+	p, st, err := planContext(ctx, input, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return ApplyContext(ctx, input, p)
+	// The plan was produced in-process an instant ago from this very
+	// input: its universe digest is trusted rather than re-derived, so
+	// Rewrite pays for instruction recovery exactly once.
+	defer e9err.Recover("apply", &err)
+	res, err := applyContext(ctx, input, p, false)
+	if err != nil {
+		return nil, err
+	}
+	// The trusted apply skipped re-recovery; surface the planning
+	// phase's recovery statistics on the one-shot result.
+	res.Recovery = st.sstats
+	return res, nil
 }
 
 // Plan runs the decision phase only: disassemble, match, run the S1
@@ -298,27 +354,37 @@ func Plan(input []byte, cfg Config) (*PatchPlan, error) {
 // recovery boundary: a panic escaping the pipeline — a rewriter bug
 // tripped by unforeseen input — is contained and returned as
 // ErrInternal with the stack attached, never propagated to the caller.
-func PlanContext(ctx context.Context, input []byte, cfg Config) (_ *PatchPlan, err error) {
+func PlanContext(ctx context.Context, input []byte, cfg Config) (*PatchPlan, error) {
+	p, _, err := planContext(ctx, input, cfg)
+	return p, err
+}
+
+// planContext is PlanContext returning the pipeline state alongside
+// the plan, so in-process callers (RewriteContext) can surface
+// planning-phase statistics without re-running recovery.
+func planContext(ctx context.Context, input []byte, cfg Config) (_ *PatchPlan, _ *planPipeline, err error) {
 	defer e9err.Recover("plan", &err)
 	st, err := runPlanPipeline(ctx, input, cfg, false)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := &plan.PatchPlan{
-		Version:     plan.Version,
-		Bias:        st.bias,
-		TextAddr:    st.textAddr + st.bias,
-		TextLen:     st.textLen,
-		Granularity: st.gran,
-		SkipPrefix:  cfg.SkipPrefix,
-		Insts:       st.insts,
-		BadBytes:    st.badBytes,
-		Warnings:    st.warnings,
-		Injections:  st.inject,
-		Sites:       st.rw.Sites(),
+		Version:      plan.Version,
+		Bias:         st.bias,
+		TextAddr:     st.textAddr + st.bias,
+		TextLen:      st.textLen,
+		Granularity:  st.gran,
+		SkipPrefix:   cfg.SkipPrefix,
+		Disasm:       string(st.mode),
+		DisasmDigest: st.digest,
+		Insts:        st.insts,
+		BadBytes:     st.badBytes,
+		Warnings:     st.warnings,
+		Injections:   st.inject,
+		Sites:        st.rw.Sites(),
 	}
 	p.BindInput(input)
-	return p, nil
+	return p, st, nil
 }
 
 // Apply materializes a plan onto input: replay the recorded byte
@@ -334,8 +400,21 @@ func Apply(input []byte, p *PatchPlan) (*Result, error) {
 // ApplyContext is Apply with cancellation. Like PlanContext it is a
 // recovery boundary: hostile plans are validated up front, and any
 // residual panic is contained and returned as ErrInternal.
+//
+// When the plan carries a disassembly-universe digest, ApplyContext
+// re-runs instruction recovery under the plan's recorded mode and
+// requires the digests to match: a plan emitted under one mode (or
+// against a different binary revision) is rejected instead of silently
+// replaying byte edits into a universe the planner never saw.
 func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, err error) {
 	defer e9err.Recover("apply", &err)
+	return applyContext(ctx, input, p, true)
+}
+
+// applyContext materializes a plan. verifyUniverse selects whether the
+// recorded disassembly digest is re-derived and checked (the public
+// Apply surface) or trusted (the in-process Rewrite fast path).
+func applyContext(ctx context.Context, input []byte, p *PatchPlan, verifyUniverse bool) (*Result, error) {
 	if p == nil {
 		return nil, e9err.Malformed("apply", "e9patch: nil plan")
 	}
@@ -374,6 +453,34 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 	if textAddr+bias != p.TextAddr || len(text) != p.TextLen {
 		return nil, e9err.Malformed("apply", "e9patch: plan text geometry %#x+%d does not match binary %#x+%d",
 			p.TextAddr, p.TextLen, textAddr+bias, len(text))
+	}
+	mode, err := disasm.ParseMode(p.Disasm)
+	if err != nil {
+		return nil, e9err.Unsupported("apply", "e9patch: plan %v", err)
+	}
+	var sstats *disasm.SupersetStats
+	if verifyUniverse && p.DisasmDigest != "" {
+		// Re-derive the instruction universe under the plan's recorded
+		// mode and bind it to the recorded digest: replaying under a
+		// different mode (or a drifted binary) is a mismatch, not a
+		// silent mispatch. Recovery is deterministic in width, so any
+		// parallelism reproduces the planner's digest.
+		if p.SkipPrefix > uint64(len(text)) {
+			return nil, e9err.Malformed("apply", "e9patch: plan skip prefix %d exceeds .text size %d", p.SkipPrefix, len(text))
+		}
+		dres, stats, dok := disasm.RecoverCancel(mode, text[p.SkipPrefix:], textAddr+bias+p.SkipPrefix,
+			runtime.GOMAXPROCS(0), nil, ctx.Done())
+		if !dok {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			return nil, e9err.Internal("apply", "e9patch: disassembly aborted without a cancellation cause")
+		}
+		if got := disasm.UniverseDigest(mode, dres); got != p.DisasmDigest {
+			return nil, e9err.Malformed("apply",
+				"e9patch: plan's recorded %s-mode instruction universe does not match this binary (digest mismatch): replan, or apply under the mode the plan was emitted with", mode)
+		}
+		sstats = stats
 	}
 	// Injections come from the (possibly hostile) plan; revalidate them
 	// against this binary before mapping anything.
@@ -445,6 +552,8 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 		OutputSize:    len(out),
 		Insts:         p.Insts,
 		BadBytes:      p.BadBytes,
+		Disasm:        string(mode),
+		Recovery:      sstats,
 		Bias:          bias,
 		Trampolines:   len(trs),
 		InjectedBytes: injectedBytes(p.Injections),
@@ -465,6 +574,14 @@ type pipelineState struct {
 	insts    []x86.Inst
 	badBytes int
 	width    int
+	mode     disasm.Mode
+	sstats   *disasm.SupersetStats // nil for linear mode
+}
+
+// universeDigest fingerprints the recovered instruction universe for
+// plan binding.
+func (st *pipelineState) universeDigest() string {
+	return disasm.UniverseDigest(st.mode, disasm.Result{Insts: st.insts, BadBytes: st.badBytes})
 }
 
 // openPipeline runs the front half of the decision pipeline: normalize
@@ -484,6 +601,11 @@ func openPipeline(ctx context.Context, input []byte, cfg *Config, private bool) 
 	if cfg.Granularity > MaxGranularity {
 		return nil, e9err.Unsupported("plan", "e9patch: granularity %d exceeds the maximum %d", cfg.Granularity, MaxGranularity)
 	}
+	mode, err := disasm.ParseMode(string(cfg.Disasm))
+	if err != nil {
+		return nil, e9err.Unsupported("plan", "e9patch: %v", err)
+	}
+	cfg.Disasm = mode
 	lim := cfg.Limits
 	if lim.MaxInputBytes > 0 && int64(len(input)) > lim.MaxInputBytes {
 		return nil, e9err.Limit("parse", e9err.ReasonInputTooLarge,
@@ -525,15 +647,16 @@ func openPipeline(ctx context.Context, input []byte, cfg *Config, private bool) 
 		width = runtime.GOMAXPROCS(0)
 	}
 
-	// The frontend: sharded linear disassembly, locations and sizes
-	// only. The sharded sweep provably equals the sequential one (seam
-	// repair, see disasm.Parallel), so shard geometry is free to follow
-	// width.
+	// The frontend: sharded instruction recovery under the configured
+	// mode, locations and sizes only. Linear's sharded sweep provably
+	// equals the sequential one (seam repair, see disasm.Parallel) and
+	// the superset decode is per-offset independent, so shard geometry
+	// is free to follow width in every mode.
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	dctx, dcancel := phaseDeadline(ctx, lim.PhaseTimeout)
-	dres, dok := disasm.ParallelCancel(text[cfg.SkipPrefix:], textAddr+bias+cfg.SkipPrefix, width, cfg.Pool, dctx.Done())
+	dres, sstats, dok := disasm.RecoverCancel(mode, text[cfg.SkipPrefix:], textAddr+bias+cfg.SkipPrefix, width, cfg.Pool, dctx.Done())
 	if !dok {
 		deadlined := errors.Is(dctx.Err(), context.DeadlineExceeded)
 		dcancel()
@@ -557,6 +680,8 @@ func openPipeline(ctx context.Context, input []byte, cfg *Config, private bool) 
 		insts:    dres.Insts,
 		badBytes: dres.BadBytes,
 		width:    width,
+		mode:     mode,
+		sstats:   sstats,
 	}, nil
 }
 
@@ -671,6 +796,9 @@ type planPipeline struct {
 	warnings []string
 	gran     int // normalized granularity (negative: naive emission)
 	inject   []plan.Injection
+	mode     disasm.Mode
+	digest   string                // universe digest of the recovered set
+	sstats   *disasm.SupersetStats // nil for linear mode
 }
 
 // runPlanPipeline executes the decision phases: parse → sharded
@@ -715,6 +843,9 @@ func runPlanPipeline(ctx context.Context, input []byte, cfg Config, private bool
 		warnings: warnings,
 		gran:     cfg.Granularity,
 		inject:   inject,
+		mode:     st.mode,
+		digest:   st.universeDigest(),
+		sstats:   st.sstats,
 	}, nil
 }
 
@@ -811,6 +942,8 @@ func rewriteLegacy(ctx context.Context, input []byte, cfg Config) (_ *Result, er
 		OutputSize:    len(out),
 		Insts:         st.insts,
 		BadBytes:      st.badBytes,
+		Disasm:        string(st.mode),
+		Recovery:      st.sstats,
 		Bias:          st.bias,
 		Trampolines:   len(trs),
 		InjectedBytes: injectedBytes(st.inject),

@@ -1,0 +1,101 @@
+package disasm
+
+import (
+	"e9patch/internal/x86"
+)
+
+// CET-anchored superset pruning (after arXiv:2506.09426): on binaries
+// compiled with control-flow enforcement, every indirect branch target
+// starts with an endbr64 landing pad. Those pads are unforgeable code
+// anchors — a compiler never emits the F3 0F 1E FA byte string inside
+// another instruction's immediate by accident often enough to matter,
+// and a misaligned decode that happens to produce one is pruned by the
+// refinement first. Starting from the anchors (plus the section entry,
+// which is a known-good boundary by construction), the genuine
+// instruction stream is exactly the forward closure under fall-through
+// and direct-branch edges: no control-flow *recovery* is needed, only
+// the local successor relation the superset sweep already knows.
+
+// CETPrune computes the anchor-reachable subset of the refined
+// superset. The returned mask is over r.Insts: kept[i] reports that
+// Insts[i] is (a) valid under the closure refinement and (b) reachable
+// from an endbr64 anchor or the section start by following fall-through
+// and direct branch/call targets through valid instructions. anchors is
+// the number of seed instructions used.
+//
+// The kept set is a subset of the refined valid set by construction;
+// bytes it never covers (alignment padding, inter-function junk, data)
+// are classified unreachable and excluded from patching.
+func (r *SupersetResult) CETPrune() (kept []bool, anchors int) {
+	n := len(r.Insts)
+	kept = make([]bool, n)
+	if n == 0 {
+		return kept, 0
+	}
+
+	// Seeds: every valid endbr64, plus the instruction at the lowest
+	// decodable offset (the section start — ELF entry or the first
+	// byte of .text, a genuine boundary in either case).
+	var queue []int
+	seed := func(i int) {
+		if i >= 0 && r.Valid[i] && !kept[i] {
+			kept[i] = true
+			queue = append(queue, i)
+			anchors++
+		}
+	}
+	for i := range r.Insts {
+		if r.Insts[i].IsEndbr64() {
+			seed(i)
+		}
+	}
+	if len(r.ByOffset) > 0 {
+		seed(r.ByOffset[0])
+	}
+
+	// Forward closure over fall-through and direct-branch successors,
+	// traversing valid instructions only: a chain that runs through a
+	// refinement-invalid decode is junk even if an anchor points at it.
+	lo, hi := r.addr, r.addr+uint64(len(r.ByOffset))
+	visit := func(a uint64) int {
+		if a < lo || a >= hi {
+			return -1
+		}
+		return r.ByOffset[a-lo]
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		in := &r.Insts[i]
+		var succ [2]int
+		ns := 0
+		if in.Attrs&x86.AttrStop == 0 {
+			succ[ns] = visit(in.Addr + uint64(in.Len))
+			ns++
+		}
+		if in.IsDirectBranch() {
+			succ[ns] = visit(in.Target())
+			ns++
+		}
+		for k := 0; k < ns; k++ {
+			j := succ[k]
+			if j >= 0 && r.Valid[j] && !kept[j] {
+				kept[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	return kept, anchors
+}
+
+// KeptInsts returns the instructions selected by a mask (CETPrune's
+// kept set), in address order.
+func (r *SupersetResult) KeptInsts(kept []bool) []x86.Inst {
+	var out []x86.Inst
+	for i := range r.Insts {
+		if kept[i] {
+			out = append(out, r.Insts[i])
+		}
+	}
+	return out
+}

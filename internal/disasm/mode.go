@@ -1,0 +1,136 @@
+package disasm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"e9patch/internal/work"
+	"e9patch/internal/x86"
+)
+
+// Mode selects the instruction-recovery policy the rewriter runs its
+// frontend with. The paper's premise — patching needs no control-flow
+// facts — makes the recovery strategy a swappable policy rather than a
+// baked-in assumption: every mode produces the same artefact (a set of
+// candidate instructions with locations and sizes) and the pipeline
+// downstream is mode-agnostic.
+type Mode string
+
+// The recovery modes.
+const (
+	// ModeLinear is the classic linear sweep: decode from the section
+	// start, skip undecodable bytes one at a time. Byte-identical to
+	// the pre-mode rewriter at every parallelism width.
+	ModeLinear Mode = "linear"
+	// ModeSuperset decodes at every byte offset and keeps everything
+	// that survives the closure refinement — a superset of the real
+	// disassembly by construction, for binaries whose instruction
+	// boundaries are unknown.
+	ModeSuperset Mode = "superset"
+	// ModeSupersetCET prunes the refined superset to the forward
+	// closure of endbr64 anchors (plus the section start): on
+	// CET-enabled binaries this classifies reachable code soundly and
+	// precisely without control-flow recovery.
+	ModeSupersetCET Mode = "superset-cet"
+)
+
+// Modes lists the recovery modes in documentation order.
+func Modes() []Mode { return []Mode{ModeLinear, ModeSuperset, ModeSupersetCET} }
+
+// ParseMode validates a mode name. The empty string selects ModeLinear
+// so zero-valued configurations keep today's behavior.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeLinear:
+		return ModeLinear, nil
+	case ModeSuperset:
+		return ModeSuperset, nil
+	case ModeSupersetCET:
+		return ModeSupersetCET, nil
+	}
+	return "", fmt.Errorf("disasm: unknown mode %q (want linear, superset or superset-cet)", s)
+}
+
+// SupersetStats reports what a superset-family recovery saw and kept;
+// nil for ModeLinear.
+type SupersetStats struct {
+	// Decoded is the number of offsets that decode to an instruction;
+	// Valid how many survive the closure refinement; Kept how many the
+	// mode finally recovers (== Valid for ModeSuperset).
+	Decoded, Valid, Kept int
+	// Anchors is the number of closure seeds (endbr64 pads plus the
+	// section start) for ModeSupersetCET; 0 otherwise.
+	Anchors int
+}
+
+// PruneRatio is the fraction of decoded candidates the mode discarded.
+func (s *SupersetStats) PruneRatio() float64 {
+	if s == nil || s.Decoded == 0 {
+		return 0
+	}
+	return 1 - float64(s.Kept)/float64(s.Decoded)
+}
+
+// Recover runs the mode's recovery over code loaded at addr.
+func Recover(mode Mode, code []byte, addr uint64) (Result, *SupersetStats) {
+	res, stats, _ := RecoverCancel(mode, code, addr, 1, nil, nil)
+	return res, stats
+}
+
+// RecoverCancel is Recover with sharding and cooperative cancellation,
+// the pipeline's single entry point for instruction recovery. For
+// ModeLinear it is exactly disasm.ParallelCancel — byte-identical to
+// the sequential sweep at every width. For the superset modes the
+// Result carries the pruned survivor set in address order, and
+// BadBytes counts offsets where nothing decodes at all. ok=false
+// reports a cancelled sweep whose partial result must be discarded.
+func RecoverCancel(mode Mode, code []byte, addr uint64, width int, pool *work.Pool, cancel <-chan struct{}) (Result, *SupersetStats, bool) {
+	switch mode {
+	case "", ModeLinear:
+		res, ok := ParallelCancel(code, addr, width, pool, cancel)
+		return res, nil, ok
+	case ModeSuperset, ModeSupersetCET:
+		sup, ok := SupersetCancel(code, addr, width, pool, cancel)
+		if !ok {
+			return Result{}, nil, false
+		}
+		stats := &SupersetStats{}
+		stats.Decoded, stats.Valid = sup.Count()
+		var insts []x86.Inst
+		if mode == ModeSupersetCET {
+			kept, anchors := sup.CETPrune()
+			stats.Anchors = anchors
+			insts = sup.KeptInsts(kept)
+		} else {
+			insts = sup.ValidInsts()
+		}
+		stats.Kept = len(insts)
+		return Result{Insts: insts, BadBytes: sup.BadOffsets()}, stats, true
+	}
+	// Modes are validated at the configuration boundary (ParseMode);
+	// reaching here with an unknown mode is a programming error the
+	// recovery boundaries upstream contain.
+	panic(fmt.Sprintf("disasm: unvalidated mode %q", mode))
+}
+
+// UniverseDigest fingerprints the recovered instruction universe: the
+// mode, every (address, length) pair in order, and the undecodable
+// count. A plan records it so Apply can prove it is replaying
+// decisions against the same instruction set the planner saw — a plan
+// made under one mode applied under another fails the digest check
+// instead of silently patching different bytes.
+func UniverseDigest(mode Mode, res Result) string {
+	h := sha256.New()
+	h.Write([]byte(mode))
+	var buf [12]byte
+	for i := range res.Insts {
+		binary.LittleEndian.PutUint64(buf[0:], res.Insts[i].Addr)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(res.Insts[i].Len))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[0:], uint64(res.BadBytes))
+	h.Write(buf[:8])
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,6 +1,10 @@
 package disasm
 
 import (
+	"errors"
+	"sync/atomic"
+
+	"e9patch/internal/work"
 	"e9patch/internal/x86"
 )
 
@@ -28,32 +32,104 @@ type SupersetResult struct {
 	// Valid[i] reports whether Insts[i] survives the closure
 	// refinement (never reaches an invalid decode).
 	Valid []bool
+
+	// truncated marks offsets whose decode failed only because the
+	// section ended mid-instruction (x86.ErrTruncated, not ErrInvalid).
+	// The refinement treats such successors as unknown-but-acceptable —
+	// the same way Linear simply skips the trailing bytes — so a
+	// truncated final instruction never poisons the genuine chain
+	// leading up to it.
+	truncated []bool
+	// addr is the section load address the sweep ran at.
+	addr uint64
 }
 
 // Superset decodes at every offset of code (loaded at addr).
 func Superset(code []byte, addr uint64) *SupersetResult {
+	res, _ := SupersetCancel(code, addr, 1, nil, nil)
+	return res
+}
+
+// SupersetCancel is Superset with a sharded decode sweep and
+// cooperative cancellation. Decoding at every offset is memoryless —
+// each offset is independent — so shards simply split the offset range
+// and the merge is a deterministic concatenation: the result is
+// identical for every width and pool state. Once cancel is closed the
+// sweep stops within a few thousand offsets and reports ok=false with
+// a partial result the caller must discard. The refinement fixpoint
+// runs sequentially after the merge.
+func SupersetCancel(code []byte, addr uint64, width int, pool *work.Pool, cancel <-chan struct{}) (*SupersetResult, bool) {
 	res := &SupersetResult{
-		ByOffset: make([]int, len(code)),
+		ByOffset:  make([]int, len(code)),
+		truncated: make([]bool, len(code)),
+		addr:      addr,
 	}
 	for off := range code {
 		res.ByOffset[off] = -1
 	}
-	for off := 0; off < len(code); off++ {
-		inst, err := x86.Decode(code[off:], addr+uint64(off))
-		if err != nil {
-			continue
+
+	nsh := len(code) / minShardBytes
+	if nsh > width {
+		if most := width * 4; nsh > most {
+			nsh = most
 		}
-		res.ByOffset[off] = len(res.Insts)
-		res.Insts = append(res.Insts, inst)
+	}
+	if width <= 1 || nsh <= 1 {
+		nsh = 1
+	}
+	shardLo := func(i int) int { return i * len(code) / nsh }
+	shards := make([][]x86.Inst, nsh)
+	var aborted int32
+	work.ForEach(pool, width, nsh, func(i int) {
+		lo, hi := shardLo(i), shardLo(i+1)
+		var insts []x86.Inst
+		steps := 0
+		for off := lo; off < hi; off++ {
+			if cancel != nil && steps&(cancelStride-1) == 0 {
+				select {
+				case <-cancel:
+					atomic.StoreInt32(&aborted, 1)
+					return
+				default:
+				}
+			}
+			steps++
+			inst, err := x86.Decode(code[off:], addr+uint64(off))
+			if err != nil {
+				// Disjoint offset ranges: no write races on truncated.
+				res.truncated[off] = errors.Is(err, x86.ErrTruncated)
+				continue
+			}
+			insts = append(insts, inst)
+		}
+		shards[i] = insts
+	})
+	if atomic.LoadInt32(&aborted) != 0 {
+		return nil, false
+	}
+
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	res.Insts = make([]x86.Inst, 0, total)
+	for _, sh := range shards {
+		for j := range sh {
+			res.ByOffset[sh[j].Addr-addr] = len(res.Insts)
+			res.Insts = append(res.Insts, sh[j])
+		}
 	}
 	res.refine(code, addr)
-	return res
+	return res, true
 }
 
 // refine computes the valid set: an instruction is invalid if its
 // fall-through (or a direct branch target inside the section) lands on
-// an offset that does not decode and is inside the section. The
-// computation is a reverse fixpoint over the successor graph.
+// an offset that does not decode and is inside the section. Offsets
+// that fail to decode only because the section ends mid-instruction
+// are treated like falling off the section end — unknown but
+// acceptable, matching Linear's skip behavior for a truncated tail.
+// The computation is a reverse fixpoint over the successor graph.
 func (r *SupersetResult) refine(code []byte, addr uint64) {
 	n := len(r.Insts)
 	r.Valid = make([]bool, n)
@@ -63,8 +139,8 @@ func (r *SupersetResult) refine(code []byte, addr uint64) {
 	inSection := func(a uint64) bool {
 		return a >= addr && a < addr+uint64(len(code))
 	}
-	// succs returns the instruction's successor offsets within the
-	// section, and whether any successor is a hard invalid.
+	// succs returns the instruction's decodable successor offsets
+	// within the section, and whether any successor is a hard invalid.
 	succs := func(i int) (out []int, bad bool) {
 		in := &r.Insts[i]
 		// Fall-through (unless the instruction never falls through).
@@ -88,12 +164,19 @@ func (r *SupersetResult) refine(code []byte, addr uint64) {
 				_ = t
 			}
 		}
+		kept := out[:0]
 		for _, o := range out {
 			if r.ByOffset[o] == -1 {
-				return out, true
+				if r.truncated[o] {
+					// Span-end truncation: no instruction to chain to,
+					// but no evidence of invalidity either.
+					continue
+				}
+				return nil, true
 			}
+			kept = append(kept, o)
 		}
-		return out, false
+		return kept, false
 	}
 
 	// Iterate to fixpoint: mark invalid anything that must reach an
@@ -127,6 +210,12 @@ func (r *SupersetResult) refine(code []byte, addr uint64) {
 	}
 }
 
+// TruncatedAt reports whether the decode at the given section offset
+// failed only because the section ended mid-instruction.
+func (r *SupersetResult) TruncatedAt(off int) bool {
+	return off >= 0 && off < len(r.truncated) && r.truncated[off]
+}
+
 // ValidInsts returns the surviving instructions in address order.
 func (r *SupersetResult) ValidInsts() []x86.Inst {
 	var out []x86.Inst
@@ -147,4 +236,39 @@ func (r *SupersetResult) Count() (decoded, valid int) {
 		}
 	}
 	return
+}
+
+// BadOffsets counts section offsets where no instruction decodes at
+// all (the superset analogue of Linear's BadBytes).
+func (r *SupersetResult) BadOffsets() int {
+	n := 0
+	for _, idx := range r.ByOffset {
+		if idx == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy returns, for every section byte, how many of the kept
+// instructions cover it. kept selects the instruction subset (nil: the
+// refinement's valid set) — e9dump uses this to make prune decisions
+// inspectable: bytes at occupancy 0 are classified data/padding, >1
+// means overlapping candidate instructions survived.
+func (r *SupersetResult) Occupancy(kept []bool) []int {
+	if kept == nil {
+		kept = r.Valid
+	}
+	occ := make([]int, len(r.ByOffset))
+	for i := range r.Insts {
+		if !kept[i] {
+			continue
+		}
+		in := &r.Insts[i]
+		off := int(in.Addr - r.addr)
+		for b := 0; b < in.Len && off+b < len(occ); b++ {
+			occ[off+b]++
+		}
+	}
+	return occ
 }

@@ -10,12 +10,21 @@ type BuildSpec struct {
 	// PIE selects ET_DYN with a zero link base; otherwise ET_EXEC at
 	// Base (default 0x400000).
 	PIE bool
+	// Shared builds a plain shared object: ET_DYN (PIE layout is
+	// implied) with a zero entry point, the conventional .so shape.
+	Shared bool
 	// Base is the link base address for non-PIE binaries.
 	Base uint64
 	// Text is the .text machine code.
 	Text []byte
-	// EntryOff is the entry point offset within .text.
+	// EntryOff is the entry point offset within .text (ignored for
+	// Shared objects, whose entry is 0).
 	EntryOff uint64
+	// Init, when non-empty, adds a second executable region: an .init
+	// section carried by its own RX PT_LOAD segment between text and
+	// data — the multi-exec-segment geometry real binaries have
+	// (.init/.plt/.text) in miniature.
+	Init []byte
 	// Data is the initialised .data contents.
 	Data []byte
 	// BSSSize is the size of the zero-initialised .bss after .data.
@@ -42,8 +51,9 @@ func Build(spec BuildSpec) ([]byte, error) {
 	if spec.EntryOff >= uint64(len(spec.Text)) {
 		return nil, fmt.Errorf("elf64: entry offset %#x outside .text", spec.EntryOff)
 	}
+	pie := spec.PIE || spec.Shared
 	base := spec.Base
-	if spec.PIE {
+	if pie {
 		base = 0
 	} else if base == 0 {
 		base = DefaultBase
@@ -53,7 +63,16 @@ func Build(spec BuildSpec) ([]byte, error) {
 	textAddr := base + TextVaddrOff
 	textEnd := textOff + uint64(len(spec.Text))
 
-	dataOff := alignUp(textEnd, PageSize)
+	haveInit := len(spec.Init) > 0
+	var initOff, initAddr uint64
+	initEnd := textEnd
+	if haveInit {
+		initOff = alignUp(textEnd, PageSize)
+		initAddr = base + initOff
+		initEnd = initOff + uint64(len(spec.Init))
+	}
+
+	dataOff := alignUp(initEnd, PageSize)
 	dataAddr := base + dataOff
 	dataEnd := dataOff + uint64(len(spec.Data))
 
@@ -62,6 +81,11 @@ func Build(spec BuildSpec) ([]byte, error) {
 	nameData := uint32(7)
 	nameBSS := uint32(13)
 	nameShstr := uint32(18)
+	var nameInit uint32
+	if haveInit {
+		nameInit = uint32(len(strtab))
+		strtab = append(strtab, ".init\x00"...)
+	}
 
 	// The symbol table is appended after .data; without symbols the
 	// layout (and every byte) is identical to the symbol-free format.
@@ -91,14 +115,17 @@ func Build(spec BuildSpec) ([]byte, error) {
 	shOff := alignUp(strtabOff+uint64(len(strtab)), 8)
 
 	shNum := uint64(5)
+	if haveInit {
+		shNum++
+	}
 	if haveSyms {
-		shNum = 7
+		shNum += 2
 	}
 	total := shOff + shNum*shdrSize
 	out := make([]byte, total)
 
 	fileType := uint16(TypeExec)
-	if spec.PIE {
+	if pie {
 		fileType = TypeDyn
 	}
 
@@ -108,35 +135,47 @@ func Build(spec BuildSpec) ([]byte, error) {
 			Off: 0, Vaddr: base, Paddr: base,
 			Filesz: textEnd, Memsz: textEnd, Align: PageSize,
 		},
-		{
+	}
+	if haveInit {
+		progs = append(progs, Prog{
+			Type: PTLoad, Flags: PFR | PFX,
+			Off: initOff, Vaddr: initAddr, Paddr: initAddr,
+			Filesz: uint64(len(spec.Init)), Memsz: uint64(len(spec.Init)),
+			Align: PageSize,
+		})
+	}
+	progs = append(progs,
+		Prog{
 			Type: PTLoad, Flags: PFR | PFW,
 			Off: dataOff, Vaddr: dataAddr, Paddr: dataAddr,
 			Filesz: uint64(len(spec.Data)),
 			Memsz:  uint64(len(spec.Data)) + spec.BSSSize,
 			Align:  PageSize,
 		},
-		{Type: PTGnuStack, Flags: PFR | PFW, Align: 16},
-	}
+		Prog{Type: PTGnuStack, Flags: PFR | PFW, Align: 16})
 
-	shStrNdx := uint16(4)
-	if haveSyms {
-		shStrNdx = 6
+	entry := textAddr + spec.EntryOff
+	if spec.Shared {
+		entry = 0
 	}
 	h := Header{
 		Type:     fileType,
 		Machine:  MachineX86_64,
-		Entry:    textAddr + spec.EntryOff,
+		Entry:    entry,
 		PhOff:    ehdrSize,
 		ShOff:    shOff,
 		PhNum:    uint16(len(progs)),
 		ShNum:    uint16(shNum),
-		ShStrNdx: shStrNdx,
+		ShStrNdx: uint16(shNum - 1),
 	}
 	writeEhdr(out, &h)
 	for i := range progs {
 		writePhdr(out[ehdrSize+uint64(i)*phdrSize:], &progs[i])
 	}
 	copy(out[textOff:], spec.Text)
+	if haveInit {
+		copy(out[initOff:], spec.Init)
+	}
 	copy(out[dataOff:], spec.Data)
 	if haveSyms {
 		nameOff := uint32(1)
@@ -156,26 +195,37 @@ func Build(spec BuildSpec) ([]byte, error) {
 			Addr:  textAddr, Off: textOff, Size: uint64(len(spec.Text)),
 			Addralign: 16,
 		},
-		{
+	}
+	if haveInit {
+		sections = append(sections, Section{
+			NameOff: nameInit, Type: SHTProgbits,
+			Flags: SHFAlloc | SHFExecinstr,
+			Addr:  initAddr, Off: initOff, Size: uint64(len(spec.Init)),
+			Addralign: 16,
+		})
+	}
+	sections = append(sections,
+		Section{
 			NameOff: nameData, Type: SHTProgbits,
 			Flags: SHFAlloc | SHFWrite,
 			Addr:  dataAddr, Off: dataOff, Size: uint64(len(spec.Data)),
 			Addralign: 8,
 		},
-		{
+		Section{
 			NameOff: nameBSS, Type: SHTNobits,
 			Flags: SHFAlloc | SHFWrite,
 			Addr:  dataAddr + uint64(len(spec.Data)),
 			Off:   dataEnd, Size: spec.BSSSize,
 			Addralign: 32,
-		},
-	}
+		})
 	if haveSyms {
 		sections = append(sections,
 			Section{
 				NameOff: nameSymtab, Type: SHTSymtab,
 				Off: symOff, Size: symSize64,
-				Link: 5, Info: 1, Entsize: symSize,
+				// Link names the associated string table: the .strtab
+				// section right after this one.
+				Link: uint32(len(sections)) + 1, Info: 1, Entsize: symSize,
 				Addralign: 8,
 			},
 			Section{

@@ -12,6 +12,7 @@ package elf64
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"e9patch/internal/e9err"
 )
@@ -269,23 +270,87 @@ func (f *File) Text() (data []byte, addr uint64, err error) {
 	return f.Data[off : off+size], addr, nil
 }
 
+// ExecSpan describes one executable byte range of the file: its file
+// offset, link-time virtual address, size, and the section it came
+// from ("" when the span was derived from a program header).
+type ExecSpan struct {
+	Name string
+	Off  uint64
+	Addr uint64
+	Size uint64
+}
+
+// ExecSpans enumerates the executable code ranges of the binary in
+// ascending address order: one span per allocated SHF_EXECINSTR
+// progbits section when section headers are present (.text, .init,
+// .plt, …), otherwise one per executable PT_LOAD segment — stripped
+// binaries lose their section table but never their program headers.
+// Every span is validated against the file bounds, so callers may
+// slice f.Data with it directly.
+func (f *File) ExecSpans() ([]ExecSpan, error) {
+	var out []ExecSpan
+	for i := range f.Sections {
+		s := &f.Sections[i]
+		if s.Type != SHTProgbits || s.Flags&SHFExecinstr == 0 || s.Flags&SHFAlloc == 0 || s.Size == 0 {
+			continue
+		}
+		if !spanInside(s.Off, s.Size, uint64(len(f.Data))) {
+			return nil, fmt.Errorf("%w: section %s [%#x,+%#x) overruns file", ErrTruncated, s.Name, s.Off, s.Size)
+		}
+		out = append(out, ExecSpan{Name: s.Name, Off: s.Off, Addr: s.Addr, Size: s.Size})
+	}
+	if len(out) == 0 {
+		for i := range f.Progs {
+			p := &f.Progs[i]
+			if p.Type != PTLoad || p.Flags&PFX == 0 || p.Filesz == 0 {
+				continue
+			}
+			// Parse already bounds-checked PT_LOAD file bytes.
+			out = append(out, ExecSpan{Off: p.Off, Addr: p.Vaddr, Size: p.Filesz})
+		}
+	}
+	if len(out) == 0 {
+		return nil, e9err.Unsupported("parse", "elf64: no executable sections or segments")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out, nil
+}
+
 // TextRange returns the file offset, virtual address and size of the
-// .text section, validated against the file bounds. Callers that must
-// not mutate f.Data (the zero-copy paths) use the offset to overlay a
-// patched text image while composing the output.
+// primary code range, validated against the file bounds: the .text
+// section when one exists, otherwise the largest executable span —
+// shared objects and stripped binaries are first-class inputs, not
+// parse errors. Callers that must not mutate f.Data (the zero-copy
+// paths) use the offset to overlay a patched text image while
+// composing the output.
 func (f *File) TextRange() (off, addr, size uint64, err error) {
-	s, ok := f.SectionByName(".text")
-	if !ok {
-		return 0, 0, 0, e9err.Unsupported("parse", "elf64: no .text section")
+	if s, ok := f.SectionByName(".text"); ok {
+		if !spanInside(s.Off, s.Size, uint64(len(f.Data))) {
+			return 0, 0, 0, fmt.Errorf("%w: .text [%#x,+%#x) overruns file", ErrTruncated, s.Off, s.Size)
+		}
+		return s.Off, s.Addr, s.Size, nil
 	}
-	if !spanInside(s.Off, s.Size, uint64(len(f.Data))) {
-		return 0, 0, 0, fmt.Errorf("%w: .text [%#x,+%#x) overruns file", ErrTruncated, s.Off, s.Size)
+	spans, err := f.ExecSpans()
+	if err != nil {
+		return 0, 0, 0, err
 	}
-	return s.Off, s.Addr, s.Size, nil
+	best := spans[0]
+	for _, sp := range spans[1:] {
+		if sp.Size > best.Size {
+			best = sp
+		}
+	}
+	return best.Off, best.Addr, best.Size, nil
 }
 
 // IsPIE reports whether the file is position independent (ET_DYN).
 func (f *File) IsPIE() bool { return f.Header.Type == TypeDyn }
+
+// IsDSO reports whether the file looks like a plain shared library
+// rather than a PIE executable: position independent with no entry
+// point. (Both are ET_DYN; the zero entry is the conventional
+// distinction and is exactly what our synthetic .so workloads emit.)
+func (f *File) IsDSO() bool { return f.Header.Type == TypeDyn && f.Header.Entry == 0 }
 
 // VaddrToOff translates a virtual address to a file offset through the
 // PT_LOAD segments.

@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/elf64"
+	"e9patch/internal/workload"
+)
+
+// DisasmModeRow is one (profile, mode) measurement: what the frontend
+// recovered, how hard the mode pruned, what the planner did with the
+// universe, and how fast the full pipeline ran.
+type DisasmModeRow struct {
+	Mode string
+	// Recovered is the instruction universe handed to the planner.
+	// Decoded/Valid break the superset modes down (0 for linear):
+	// offsets that decode at all, and survivors of the refinement
+	// fixpoint. Anchors counts the superset-cet closure seeds.
+	Recovered, Decoded, Valid, Anchors int
+	// PruneRatio is the fraction of decoded candidates discarded
+	// (0 for linear, where nothing is pruned).
+	PruneRatio float64
+	// PlanSites and Patched are the jump-selector plan size and the
+	// count that patched successfully.
+	PlanSites, Patched int
+	// Seconds is the best-of-reps full-pipeline time; MBPerSec the
+	// resulting input-binary throughput.
+	Seconds  float64
+	MBPerSec float64
+}
+
+// DisasmProfileBench is one profile's sweep over all three modes.
+type DisasmProfileBench struct {
+	Profile  string
+	CET, DSO bool
+	TextKB   float64
+	Rows     []DisasmModeRow
+}
+
+// DisasmBench is the per-mode recovery benchmark recorded in
+// BENCH_disasm.json: a paper-era baseline row plus the CET and DSO
+// profiles, each rewritten under every disassembly mode.
+type DisasmBench struct {
+	Scale    float64
+	Profiles []DisasmProfileBench
+}
+
+// disasmBenchProfiles picks the sweep set: the paper's smallest SPEC
+// row as the linear-era baseline, then the modern CET and DSO rows.
+var disasmBenchProfiles = []string{"mcf", "nginx-cet", "libz.so", "libcrypto-cet.so"}
+
+// MeasureDisasm rewrites each benchmark profile under all three
+// disassembly modes with the jump selector and records recovery
+// counts, prune ratios, plan sizes and pipeline throughput.
+func MeasureDisasm(opt Options, progress io.Writer) (*DisasmBench, error) {
+	opt = opt.withDefaults()
+	out := &DisasmBench{Scale: opt.Scale}
+	for _, name := range disasmBenchProfiles {
+		p, err := workload.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mix, err := calibratedMix(p)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := workload.BuildStaticMix(p, opt.Scale, p.Kind, mix)
+		if err != nil {
+			return nil, err
+		}
+		f, err := elf64.Parse(prog.ELF)
+		if err != nil {
+			return nil, err
+		}
+		text, _, err := f.Text()
+		if err != nil {
+			return nil, err
+		}
+		pb := DisasmProfileBench{
+			Profile: p.Name,
+			CET:     p.CET,
+			DSO:     p.DSO,
+			TextKB:  float64(len(text)) / 1024,
+		}
+		for _, mode := range []e9patch.DisasmMode{
+			e9patch.DisasmLinear, e9patch.DisasmSuperset, e9patch.DisasmSupersetCET,
+		} {
+			if progress != nil {
+				fmt.Fprintf(progress, "# disasm: %s mode=%s\n", p.Name, mode)
+			}
+			cfg := baseConfig(p, A1, opt.Scale)
+			cfg.Disasm = mode
+			const reps = 2
+			best := 0.0
+			var res *e9patch.Result
+			for i := 0; i < reps; i++ {
+				start := time.Now()
+				r, err := e9patch.Rewrite(prog.ELF, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("disasm bench %s/%s: %w", p.Name, mode, err)
+				}
+				if sec := time.Since(start).Seconds(); best == 0 || sec < best {
+					best = sec
+				}
+				res = r
+			}
+			row := DisasmModeRow{
+				Mode:      string(mode),
+				Recovered: res.Insts,
+				PlanSites: res.Stats.Total,
+				Patched:   res.Stats.Patched(),
+				Seconds:   best,
+				MBPerSec:  float64(len(prog.ELF)) / 1e6 / best,
+			}
+			if s := res.Recovery; s != nil {
+				row.Decoded = s.Decoded
+				row.Valid = s.Valid
+				row.Anchors = s.Anchors
+				row.PruneRatio = s.PruneRatio()
+			}
+			pb.Rows = append(pb.Rows, row)
+		}
+		out.Profiles = append(out.Profiles, pb)
+	}
+	return out, nil
+}
+
+// PrintDisasm renders the mode sweep as a table per profile.
+func PrintDisasm(w io.Writer, b *DisasmBench) {
+	fmt.Fprintf(w, "Disassembly-mode sweep (jump selector, scale %.2f)\n", b.Scale)
+	for _, pb := range b.Profiles {
+		tag := ""
+		if pb.CET {
+			tag += " [cet]"
+		}
+		if pb.DSO {
+			tag += " [dso]"
+		}
+		fmt.Fprintf(w, "\n%s%s (%.0f KB text)\n", pb.Profile, tag, pb.TextKB)
+		fmt.Fprintf(w, "  %-12s %9s %9s %9s %7s %7s %8s %8s %8s %7s\n",
+			"mode", "recovered", "decoded", "valid", "anchors", "prune%", "sites", "patched", "sec", "MB/s")
+		for _, r := range pb.Rows {
+			dash := func(v int) string {
+				if v == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%d", v)
+			}
+			fmt.Fprintf(w, "  %-12s %9d %9s %9s %7s %6.1f%% %8d %8d %8.3f %7.1f\n",
+				r.Mode, r.Recovered, dash(r.Decoded), dash(r.Valid), dash(r.Anchors),
+				100*r.PruneRatio, r.PlanSites, r.Patched, r.Seconds, r.MBPerSec)
+		}
+	}
+}

@@ -129,6 +129,15 @@ type PatchPlan struct {
 	Granularity int `json:"granularity"`
 	// SkipPrefix mirrors Config.SkipPrefix, for audit only.
 	SkipPrefix uint64 `json:"skipPrefix,omitempty"`
+	// Disasm names the instruction-recovery mode the plan was made
+	// under ("linear", "superset", "superset-cet"; empty means linear,
+	// for plans predating pluggable modes). DisasmDigest fingerprints
+	// the recovered instruction universe (see disasm.UniverseDigest):
+	// Apply re-derives it under the same mode and refuses a plan whose
+	// universe differs — a plan emitted under one mode cannot be
+	// replayed under another.
+	Disasm       string `json:"disasm,omitempty"`
+	DisasmDigest string `json:"disasmDigest,omitempty"`
 	// Insts and BadBytes record the disassembly outcome the decisions
 	// were made against.
 	Insts    int `json:"insts"`

@@ -122,6 +122,7 @@ func (s *Session) Handle(ctx context.Context, msg *Message, d *Decoder) (_ any, 
 type optionParams struct {
 	Granularity *int    `json:"granularity"`
 	SkipPrefix  *Uint64 `json:"skipPrefix"`
+	Disasm      *string `json:"disasm"`
 	Parallelism *int    `json:"parallelism"`
 	DisableT1   *bool   `json:"disableT1"`
 	DisableT2   *bool   `json:"disableT2"`
@@ -147,6 +148,13 @@ func (s *Session) handleOption(msg *Message) (any, error) {
 	}
 	if p.SkipPrefix != nil {
 		s.cfg.SkipPrefix = uint64(*p.SkipPrefix)
+	}
+	if p.Disasm != nil {
+		mode, err := e9patch.ParseDisasmMode(*p.Disasm)
+		if err != nil {
+			return nil, e9err.Malformed("rpc", "rpc: %v", err)
+		}
+		s.cfg.Disasm = mode
 	}
 	if p.Parallelism != nil {
 		s.cfg.Parallelism = *p.Parallelism

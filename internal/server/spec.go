@@ -32,6 +32,8 @@ import (
 //	            or the X-E9-Payload header
 //	granularity page-grouping granularity M (default 1, -1 disables)
 //	skip        skip first N bytes of .text
+//	disasm      instruction recovery mode: linear (default) | superset |
+//	            superset-cet
 //	disable-t1 / disable-t2 / disable-t3   tactic ablations
 //	b0-fallback / force-b0                 int3 tactics
 //	reserve     extra reserved VA ranges, "0xLO-0xHI", repeatable or
@@ -45,6 +47,7 @@ type Spec struct {
 	Payload     []byte
 	Granularity int
 	SkipPrefix  uint64
+	Disasm      e9patch.DisasmMode
 	DisableT1   bool
 	DisableT2   bool
 	DisableT3   bool
@@ -130,7 +133,11 @@ func parseSpec(r *http.Request) (*Spec, error) {
 		}
 		s.SkipPrefix = sk
 	}
-	var err error
+	mode, err := e9patch.ParseDisasmMode(get("disasm"))
+	if err != nil {
+		return nil, fmt.Errorf("parameter disasm: %w", err)
+	}
+	s.Disasm = mode
 	if s.DisableT1, err = getBool("disable-t1"); err != nil {
 		return nil, err
 	}
@@ -227,8 +234,8 @@ func parseSpec(r *http.Request) (*Spec, error) {
 // parallelism share one cache entry.
 func (s *Spec) Canonical() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "match=%s|action=%s|M=%d|skip=%d|t1=%t|t2=%t|t3=%t|b0=%t|forceb0=%t",
-		s.Match, s.Action, s.Granularity, s.SkipPrefix,
+	fmt.Fprintf(&b, "match=%s|action=%s|M=%d|skip=%d|disasm=%s|t1=%t|t2=%t|t3=%t|b0=%t|forceb0=%t",
+		s.Match, s.Action, s.Granularity, s.SkipPrefix, s.Disasm,
 		!s.DisableT1, !s.DisableT2, !s.DisableT3, s.B0Fallback, s.ForceB0)
 	for _, r := range s.Reserve {
 		fmt.Fprintf(&b, "|reserve=%#x-%#x", r[0], r[1])
@@ -276,6 +283,7 @@ func (s *Spec) Config() (e9patch.Config, error) {
 	cfg := e9patch.Config{
 		Granularity: s.Granularity,
 		SkipPrefix:  s.SkipPrefix,
+		Disasm:      s.Disasm,
 		Parallelism: s.Parallelism,
 		Patch: patch.Options{
 			DisableT1:  s.DisableT1,

@@ -38,6 +38,15 @@ type Profile struct {
 	DataInText bool
 	// Fortran marks SPECfp-style numeric code (denser stores).
 	Fortran bool
+	// CET marks a binary built with control-flow enforcement: every
+	// function prologue carries an endbr64 landing pad, the anchors the
+	// superset-cet frontend prunes from.
+	CET bool
+	// DSO marks a plain shared library (ET_DYN with a zero entry
+	// point) rather than a PIE executable. Only meaningful for
+	// KindShared rows; the paper-era KindShared rows model .so address
+	// geometry but still build as PIE-shaped ELFs for compatibility.
+	DSO bool
 	// Kernel names the runnable kernel archetype for Time% rows.
 	Kernel string
 }
@@ -100,12 +109,25 @@ var BrowserProfiles = []Profile{
 	{Name: "libxul.so", SizeMB: 115.03, Kind: KindShared, LocsA1: 1463369, BaseA1: 68.55, LocsA2: 666109, BaseA2: 75.72},
 }
 
-// AllProfiles returns every Table 1 row in paper order.
+// ModernProfiles are current-toolchain rows beyond the paper's corpus:
+// CET-enabled binaries (every function prologue starts with an endbr64
+// landing pad) and plain shared libraries with no entry point. They
+// exercise the superset-cet recovery frontend and first-class .so
+// inputs alongside the Table 1 reproduction.
+var ModernProfiles = []Profile{
+	{Name: "nginx-cet", SizeMB: 1.30, Kind: KindPIE, CET: true, LocsA1: 28400, BaseA1: 97.90, LocsA2: 9100, BaseA2: 99.60},
+	{Name: "libcrypto-cet.so", SizeMB: 2.10, Kind: KindShared, CET: true, DSO: true, LocsA1: 30700, BaseA1: 74.80, LocsA2: 21400, BaseA2: 70.10},
+	{Name: "libz.so", SizeMB: 0.12, Kind: KindShared, DSO: true, LocsA1: 2300, BaseA1: 76.20, LocsA2: 1100, BaseA2: 69.40},
+}
+
+// AllProfiles returns every Table 1 row in paper order, followed by the
+// modern CET/DSO rows.
 func AllProfiles() []Profile {
 	var out []Profile
 	out = append(out, SPECProfiles...)
 	out = append(out, SystemProfiles...)
 	out = append(out, BrowserProfiles...)
+	out = append(out, ModernProfiles...)
 	return out
 }
 
@@ -204,7 +226,7 @@ func BuildStaticMix(p Profile, scale float64, kind Kind, mo Mix) (*Program, erro
 	if err != nil {
 		return nil, err
 	}
-	prog, err := buildELF(p.Name, kind != KindExec, text, make([]byte, 2048), uint64(p.BSSMB*1e6))
+	prog, err := buildELFShared(p.Name, kind != KindExec, p.DSO && kind != KindExec, text, make([]byte, 2048), uint64(p.BSSMB*1e6))
 	if err != nil {
 		return nil, err
 	}
@@ -231,8 +253,11 @@ func generateText(p Profile, textSize int, kind Kind, mo Mix) ([]byte, error) {
 		}
 	}
 
-	g := &codegen{a: a, r: r, m: m, fortran: p.Fortran}
+	g := &codegen{a: a, r: r, m: m, fortran: p.Fortran, cet: p.CET}
 	g.funcStarts = append(g.funcStarts, a.Addr())
+	if g.cet {
+		a.Endbr64()
+	}
 	for a.Len() < textSize {
 		g.emitOne()
 	}
@@ -269,6 +294,9 @@ type codegen struct {
 	r       *rng
 	m       mix
 	fortran bool
+	// cet emits an endbr64 landing pad at every function start, the
+	// way -fcf-protection compilers do.
+	cet bool
 
 	// funcStarts and recent track branch-target material.
 	funcStarts []uint64
@@ -408,6 +436,9 @@ func (g *codegen) emitOne() {
 		if len(g.funcStarts) > 4096 {
 			g.funcStarts = g.funcStarts[1:]
 		}
+		if g.cet {
+			a.Endbr64()
+		}
 		a.PushReg(x86.RBP)
 		a.MovRegReg64(x86.RBP, x86.RSP)
 	}
@@ -442,6 +473,12 @@ func (g *codegen) emitJump() {
 				idx = g.reg()
 			}
 			a.JmpMem(x86.MIdx(g.reg(), idx, 8, 0))
+		}
+		if g.cet {
+			// CET compilers place an endbr64 landing pad at every
+			// indirect-branch target — the join point right after a
+			// jump-table dispatch is one.
+			a.Endbr64()
 		}
 	case r.intn(5) == 0:
 		a.JmpRel32(g.anyFunc())

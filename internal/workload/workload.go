@@ -64,8 +64,16 @@ type Program struct {
 
 // buildELF wraps the assembler output into an ELF binary.
 func buildELF(name string, pie bool, text []byte, data []byte, bss uint64) (*Program, error) {
+	return buildELFShared(name, pie, false, text, data, bss)
+}
+
+// buildELFShared is buildELF with the .so switch: shared builds an
+// ET_DYN image with a zero entry point — a plain shared library rather
+// than a PIE executable.
+func buildELFShared(name string, pie, shared bool, text []byte, data []byte, bss uint64) (*Program, error) {
 	raw, err := elf64.Build(elf64.BuildSpec{
 		PIE:      pie,
+		Shared:   shared,
 		Text:     text,
 		EntryOff: 0,
 		Data:     data,
@@ -74,7 +82,7 @@ func buildELF(name string, pie bool, text []byte, data []byte, bss uint64) (*Pro
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", name, err)
 	}
-	return &Program{Name: name, ELF: raw, PIE: pie}, nil
+	return &Program{Name: name, ELF: raw, PIE: pie || shared}, nil
 }
 
 // MallocBinding selects the allocator bound at RTMalloc.

@@ -712,5 +712,11 @@ func (a *Asm) Int3() { a.Raw(0xCC) }
 // Nop emits a one-byte nop.
 func (a *Asm) Nop() { a.Raw(0x90) }
 
+// Endbr64 emits the CET indirect-branch landing pad (F3 0F 1E FA). On
+// non-CET hardware it executes as a hint nop, so it is safe to emit
+// unconditionally; the superset-cet disassembly mode uses it as a
+// known-good code anchor.
+func (a *Asm) Endbr64() { a.Raw(0xF3, 0x0F, 0x1E, 0xFA) }
+
 // Ud2 emits ud2.
 func (a *Asm) Ud2() { a.Raw(0x0F, 0x0B) }

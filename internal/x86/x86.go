@@ -230,6 +230,16 @@ func (i *Inst) IsDirectBranch() bool {
 	return i.RelSize != 0 && i.Attrs&(AttrJump|AttrCondJump|AttrCall) != 0
 }
 
+// IsEndbr64 reports the CET indirect-branch landing pad
+// (F3 0F 1E FA). CET-enabled compilers place it at every indirect
+// branch target, which makes it a reliable anchor for classifying
+// reachable code without control-flow recovery.
+func (i *Inst) IsEndbr64() bool {
+	return i.Len == 4 &&
+		i.Bytes[0] == 0xF3 && i.Bytes[1] == 0x0F &&
+		i.Bytes[2] == 0x1E && i.Bytes[3] == 0xFA
+}
+
 // WritesMem reports whether the instruction may write through its
 // memory operand.
 func (i *Inst) WritesMem() bool {

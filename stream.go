@@ -59,8 +59,8 @@ func NewStream(ctx context.Context, input []byte, cfg Config) (_ *Stream, err er
 // Insts returns the number of disassembled instructions.
 func (s *Stream) Insts() int { return s.insts }
 
-// BadBytes returns the count of undecodable bytes the linear frontend
-// skipped.
+// BadBytes returns the count of undecodable bytes (offsets, for the
+// superset modes) the recovery frontend skipped.
 func (s *Stream) BadBytes() int { return s.badBytes }
 
 // Selected returns the number of distinct patch locations accumulated
@@ -198,6 +198,7 @@ func (s *Stream) Finish(ctx context.Context) (_ *Result, err error) {
 	// session state, then drop the rest — most importantly the
 	// instruction array and the rewriter's working copies.
 	f, bias, textOff := s.st.f, s.st.bias, s.st.textOff
+	mode, sstats := s.st.mode, s.st.sstats
 	code, trs, sigTab := rw.Code(), rw.Trampolines(), rw.SigTab()
 	stats, locs := rw.Stats(), rw.Results()
 	s.st, s.seen, s.selected, s.diag = nil, nil, nil, nil
@@ -217,6 +218,8 @@ func (s *Stream) Finish(ctx context.Context) (_ *Result, err error) {
 		OutputSize:    len(out),
 		Insts:         s.insts,
 		BadBytes:      s.badBytes,
+		Disasm:        string(mode),
+		Recovery:      sstats,
 		Bias:          bias,
 		Trampolines:   len(trs),
 		InjectedBytes: injectedBytes(inject),
