@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race difftest enginecheck plancheck speccheck rpccheck disasmcheck bench bench-json bench-parallel bench-plancache bench-match bench-stream bench-disasm servertest fuzzshort fuzzhostile ci
+.PHONY: all build fmt vet test race difftest enginecheck plancheck speccheck rpccheck disasmcheck bench bench-json bench-parallel bench-plancache bench-match bench-stream bench-disasm bench-cluster servertest clustercheck fuzzshort fuzzhostile ci
 
 all: build test
 
@@ -72,7 +72,7 @@ bench:
 # (the perf trajectory): engine throughput, parallel scaling, the
 # plan-cache speedup, the spec-matcher cost, the streaming memory
 # bound, and the per-disassembly-mode recovery sweep.
-bench-json: bench-parallel bench-plancache bench-match bench-stream bench-disasm
+bench-json: bench-parallel bench-plancache bench-match bench-stream bench-disasm bench-cluster
 	$(GO) run ./cmd/e9bench -enginespeed -json BENCH_engines.json
 
 # bench-parallel records the rewrite-phase scaling curve (widths 1..8)
@@ -141,6 +141,25 @@ bench-disasm:
 servertest:
 	$(GO) test -run TestServedSmoke -count 1 ./cmd/e9served/
 
+# clustercheck gates the distributed e9served surfaces on an in-process
+# 3-node cluster: consistent-hash forwarding, peer plan-fetch
+# byte-identity, owner-down local fallback, the internal plan endpoint,
+# plan-delta responses (identity and gzip wire coding), /v1/batch
+# validation/quotas/streaming, the chaos batch (one node killed
+# mid-batch over the hostile corpus must finish with zero 5xx), and the
+# trusted-apply contract backing peer rematerialization.
+clustercheck:
+	$(GO) test -run 'TestCluster|TestBatch|TestPlanFetch|TestPlanDelta|TestLastWaiterCancelDuringPeerFetch' -count 1 ./internal/server/
+	$(GO) test -run 'TestApplyTrusted' -count 1 .
+	$(GO) test ./internal/cluster/
+
+# bench-cluster records the distributed wins with their acceptance
+# gates enforced in-run: peer plan-fetch must be >=5x cheaper than a
+# replan (whole-request, byte-identity checked) and plan-delta egress
+# must stay <=10% of the full-binary response on the 120 MB profile.
+bench-cluster:
+	$(GO) run ./cmd/e9bench -cluster -json BENCH_cluster.json
+
 # fuzzshort actually explores the differential fuzzers for a few
 # seconds each (plain `go test` only replays the seed corpus).
 fuzzshort:
@@ -156,4 +175,4 @@ fuzzhostile:
 	$(GO) test -run 'TestHostile|TestLibraryLimits|TestMmapFallbackDifferential' -count 1 .
 	$(GO) test -run '^FuzzRewriteHostileELF$$' -fuzz '^FuzzRewriteHostileELF$$' -fuzztime 10s .
 
-ci: fmt vet race difftest enginecheck plancheck speccheck rpccheck disasmcheck servertest fuzzshort fuzzhostile
+ci: fmt vet race difftest enginecheck plancheck speccheck rpccheck disasmcheck servertest clustercheck fuzzshort fuzzhostile

@@ -17,6 +17,7 @@
 //	e9bench -matchlang         # spec-language matcher cost vs hardcoded selectors
 //	e9bench -stream            # zero-copy streaming vs buffered rewrite, 100MB+ binary
 //	e9bench -disasm            # per-mode recovery counts, prune ratio, rewrite throughput
+//	e9bench -cluster           # peer plan-fetch speedup + plan-delta egress ratio
 //	e9bench -all               # everything
 //
 // -scale shrinks the synthetic binaries relative to the paper's sizes
@@ -56,6 +57,24 @@ type jsonReport struct {
 	MatchLang   *matchLangJSON   `json:"matchLang,omitempty"`
 	Stream      *streamJSON      `json:"stream,omitempty"`
 	Disasm      *disasmJSON      `json:"disasmModes,omitempty"`
+	Cluster     *clusterJSON     `json:"cluster,omitempty"`
+}
+
+// clusterJSON mirrors eval.ClusterBench for the -cluster run.
+type clusterJSON struct {
+	Profile         string  `json:"profile"`
+	Nodes           int     `json:"nodes"`
+	Locations       int     `json:"locations"`
+	ReplanSec       float64 `json:"replanSeconds"`
+	PeerFetchSec    float64 `json:"peerFetchSeconds"`
+	FetchSpeedup    float64 `json:"peerFetchSpeedup"`
+	Identical       bool    `json:"byteIdentical"`
+	EgressMB        int     `json:"egressTargetMB"`
+	EgressTextMB    int     `json:"egressTextMB"`
+	FullEgressBytes int     `json:"fullEgressBytes"`
+	PlanEgressBytes int     `json:"planEgressBytes"`
+	EgressRatio     float64 `json:"egressRatio"`
+	EgressIdentical bool    `json:"egressByteIdentical"`
 }
 
 // disasmJSON mirrors eval.DisasmBench for the -disasm run.
@@ -189,6 +208,8 @@ func main() {
 		mtchLng = flag.Bool("matchlang", false, "measure spec-language matcher cost vs hardcoded selectors")
 		strm    = flag.Bool("stream", false, "measure zero-copy streaming vs buffered rewrite on a browser-class binary")
 		disasmB = flag.Bool("disasm", false, "measure recovery counts, prune ratio and throughput per disassembly mode")
+		clstr   = flag.Bool("cluster", false, "measure peer plan-fetch speedup and plan-delta egress ratio")
+		clstrMB = flag.Int("cluster-mb", 120, "-cluster: egress workload size in MB")
 		strmMB  = flag.Int("stream-mb", 120, "-stream: total workload size in MB")
 		strmTxt = flag.Int("stream-text-mb", 16, "-stream: text section size in MB")
 		all     = flag.Bool("all", false, "run every experiment")
@@ -510,6 +531,46 @@ func main() {
 			dj.Profiles = append(dj.Profiles, pj)
 		}
 		report.Disasm = dj
+	}
+
+	if *clstr || *all {
+		ran = true
+		fmt.Printf("== Distributed e9served: peer plan-fetch and plan-delta egress (%d MB egress workload) ==\n", *clstrMB)
+		cb, err := eval.MeasureCluster(opt, *clstrMB, 16, prog)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d-node cluster, %s profile, %d locations, byte-identical: %v\n",
+			cb.Nodes, cb.Profile, cb.Locations, cb.Identical)
+		fmt.Printf("  replan %8.3fs   peer plan-fetch %8.3fs   (%.1fx cheaper)\n",
+			cb.ReplanSec, cb.PeerFetchSec, cb.FetchSpeedup)
+		fmt.Printf("  plan-delta egress %d bytes vs full binary %d bytes (%.2f%%, byte-identical after apply: %v)\n",
+			cb.PlanEgressBytes, cb.FullEgressBytes, 100*cb.EgressRatio, cb.EgressIdentical)
+		if !cb.Identical || !cb.EgressIdentical {
+			fail(fmt.Errorf("cluster outputs diverged from the local rewrite"))
+		}
+		if cb.FetchSpeedup < 5 {
+			fail(fmt.Errorf("peer plan-fetch speedup %.2fx is under the 5x acceptance floor", cb.FetchSpeedup))
+		}
+		if cb.EgressRatio > 0.10 {
+			fail(fmt.Errorf("plan-delta egress is %.1f%% of the full binary, over the 10%% acceptance ceiling", 100*cb.EgressRatio))
+		}
+		fmt.Println()
+		report.Cluster = &clusterJSON{
+			Profile:         cb.Profile,
+			Nodes:           cb.Nodes,
+			Locations:       cb.Locations,
+			ReplanSec:       cb.ReplanSec,
+			PeerFetchSec:    cb.PeerFetchSec,
+			FetchSpeedup:    cb.FetchSpeedup,
+			Identical:       cb.Identical,
+			EgressMB:        cb.EgressMB,
+			EgressTextMB:    cb.EgressTextMB,
+			FullEgressBytes: cb.FullEgressBytes,
+			PlanEgressBytes: cb.PlanEgressBytes,
+			EgressRatio:     cb.EgressRatio,
+			EgressIdentical: cb.EgressIdentical,
+		}
 	}
 
 	if !ran {

@@ -17,8 +17,17 @@
 //	    line-delimited option* binary (patch|reserve)* emit stream
 //	    (internal/rpc, DESIGN.md §12), chunked transfer welcome;
 //	    → 200 rewritten binary; X-E9-Stats header; 400 broken streams
+//	POST /v1/batch                                  body = NDJSON items
+//	    {"id":..,"query":"match=..","binary":"<base64>","want":"binary|plan"}
+//	    → 200 NDJSON results streamed in completion order
 //	GET  /healthz                                   liveness/drain
 //	GET  /metrics                                   Prometheus text
+//
+// Clustering (-self/-peers) consistent-hashes cache keys across a
+// static peer list: the front door routes each rewrite to its key's
+// owner, peers fetch PatchPlans from owners over
+// GET /internal/v1/plan/{key} instead of re-planning, and a down peer
+// degrades to local handling (DESIGN.md §15).
 //
 // Examples:
 //
@@ -47,10 +56,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"e9patch"
+	"e9patch/internal/cluster"
 	"e9patch/internal/server"
 )
 
@@ -72,8 +83,32 @@ func main() {
 		maxSites     = flag.Int("max-sites", 0, "maximum patch sites per rewrite (0: unlimited)")
 		maxTrampMB   = flag.Int("max-tramp-mb", 0, "maximum emitted trampoline bytes in MiB (0: unlimited)")
 		phaseTimeout = flag.Duration("phase-timeout", 0, "per-phase (disassembly, patching) deadline (0: unlimited)")
+
+		// Clustering: a static peer list sharding the result/plan caches
+		// by consistent hash. Both flags empty = single-node (default).
+		self         = flag.String("self", "", "this node's advertised base URL, e.g. http://10.0.0.1:8233 (must appear in -peers; empty: single-node)")
+		peersList    = flag.String("peers", "", "comma-separated base URLs of every cluster node, including -self")
+		fetchTimeout = flag.Duration("peer-fetch-timeout", 2*time.Second, "peer plan-fetch timeout (a slow peer is a down peer)")
+		peerCooldown = flag.Duration("peer-cooldown", time.Second, "how long a failed peer is skipped before being retried")
 	)
 	flag.Parse()
+
+	var peers []string
+	for _, p := range strings.Split(*peersList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	ccfg := cluster.Config{
+		Self:         strings.TrimRight(*self, "/"),
+		Peers:        peers,
+		FetchTimeout: *fetchTimeout,
+		Cooldown:     *peerCooldown,
+	}
+	if err := ccfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "e9served: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -82,6 +117,7 @@ func main() {
 		PlanCacheBytes: int64(*planMB) << 20,
 		Timeout:        *timeout,
 		MaxBodyBytes:   int64(*maxBodyMB) << 20,
+		Cluster:        ccfg,
 		Limits: e9patch.Limits{
 			MaxTextBytes:       int64(*maxTextMB) << 20,
 			MaxPatchSites:      *maxSites,

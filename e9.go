@@ -411,6 +411,33 @@ func ApplyContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, e
 	return applyContext(ctx, input, p, true)
 }
 
+// ApplyTrusted is ApplyTrustedContext without cancellation.
+func ApplyTrusted(input []byte, p *PatchPlan) (*Result, error) {
+	return ApplyTrustedContext(context.Background(), input, p)
+}
+
+// ApplyTrustedContext materializes a plan from a trusted producer —
+// this process, or a cluster peer running the same build — without
+// re-deriving the disassembly-universe digest that ApplyContext checks.
+//
+// It only accepts input-bound plans (non-empty InputSHA256, still
+// verified against input): for a bound plan the recorded universe is a
+// deterministic function of the mode and text bytes the hash already
+// pins, so re-derivation can only re-prove what the binding
+// established — at full instruction-recovery cost, which dominates
+// Apply on large binaries. Every structural validation (text geometry,
+// write bounds, injection ranges, tactic names) still runs; what is
+// skipped is purely the redundant recovery pass. Plans from untrusted
+// sources should keep going through ApplyContext, whose digest check
+// rejects a plan that lies about its recovery mode.
+func ApplyTrustedContext(ctx context.Context, input []byte, p *PatchPlan) (_ *Result, err error) {
+	defer e9err.Recover("apply", &err)
+	if p != nil && p.InputSHA256 == "" {
+		return nil, e9err.Malformed("apply", "e9patch: ApplyTrusted requires an input-bound plan (empty inputSha256): use Apply")
+	}
+	return applyContext(ctx, input, p, false)
+}
+
 // applyContext materializes a plan. verifyUniverse selects whether the
 // recorded disassembly digest is re-derived and checked (the public
 // Apply surface) or trusted (the in-process Rewrite fast path).

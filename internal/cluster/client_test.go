@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFetchPlanStatuses: 200 returns the payload and marks the peer
+// up, 404 is the authoritative ErrNoPlan, other statuses and dead
+// sockets are transport failures that trip the health tracker.
+func TestFetchPlanStatuses(t *testing.T) {
+	var status int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, PlanPath) {
+			t.Errorf("fetch hit %s, want prefix %s", r.URL.Path, PlanPath)
+		}
+		w.WriteHeader(status)
+		if status == http.StatusOK {
+			w.Write([]byte("plan-bytes"))
+		}
+	}))
+	defer ts.Close()
+
+	h := NewHealth(time.Minute)
+	c := NewClient(Config{FetchTimeout: 2 * time.Second}, h, 0)
+
+	status = http.StatusOK
+	data, err := c.FetchPlan(context.Background(), ts.URL, "k1")
+	if err != nil || string(data) != "plan-bytes" {
+		t.Fatalf("200 fetch: %q, %v", data, err)
+	}
+	if !h.Up(ts.URL) {
+		t.Fatal("peer marked down after a 200")
+	}
+
+	status = http.StatusNotFound
+	if _, err := c.FetchPlan(context.Background(), ts.URL, "k1"); !errors.Is(err, ErrNoPlan) {
+		t.Fatalf("404 fetch: %v, want ErrNoPlan", err)
+	}
+	if !h.Up(ts.URL) {
+		t.Fatal("peer marked down after a 404 (a 404 proves liveness)")
+	}
+
+	status = http.StatusServiceUnavailable
+	if _, err := c.FetchPlan(context.Background(), ts.URL, "k1"); err == nil || errors.Is(err, ErrNoPlan) {
+		t.Fatalf("503 fetch: %v, want transport-style failure", err)
+	}
+	if h.Up(ts.URL) {
+		t.Fatal("peer not marked down after a 503")
+	}
+}
+
+// TestFetchPlanDeadPeer: a connection failure marks the peer down and
+// the cooldown gates retries.
+func TestFetchPlanDeadPeer(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // nothing listens here any more
+
+	h := NewHealth(50 * time.Millisecond)
+	c := NewClient(Config{FetchTimeout: time.Second}, h, 0)
+	if _, err := c.FetchPlan(context.Background(), url, "k"); err == nil {
+		t.Fatal("fetch from a closed server succeeded")
+	}
+	if h.Up(url) {
+		t.Fatal("dead peer still marked up")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if !h.Up(url) {
+		t.Fatal("cooldown never released the peer for a retry probe")
+	}
+}
+
+// TestFetchPlanOversized: a peer response beyond the cap is rejected
+// instead of buffered.
+func TestFetchPlanOversized(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 4096))
+	}))
+	defer ts.Close()
+	c := NewClient(Config{}, NewHealth(0), 1024)
+	if _, err := c.FetchPlan(context.Background(), ts.URL, "k"); err == nil {
+		t.Fatal("oversized plan accepted")
+	}
+}

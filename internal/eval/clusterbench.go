@@ -1,0 +1,331 @@
+package eval
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"e9patch"
+	"e9patch/internal/cluster"
+	"e9patch/internal/server"
+	"e9patch/internal/workload"
+)
+
+// ClusterBench is the distributed-e9served measurement recorded in
+// BENCH_cluster.json. It quantifies the two wins clustering claims:
+//
+//   - Peer plan-fetch: a node handling a key it does not own fetches
+//     the owner's PatchPlan (kilobytes) and replays it instead of
+//     redoing the tactic search. FetchSpeedup = ReplanSec/PeerFetchSec,
+//     both measured as whole HTTP requests against an in-process
+//     3-node cluster, so the ratio is conservative (upload time is in
+//     both numerator and denominator).
+//
+//   - Plan-delta responses: Accept: application/x-e9-plan returns the
+//     serialized plan for client-side apply; EgressRatio compares that
+//     response's wire size (gzip-coded, as negotiated by any real
+//     client) against the full rewritten binary on a browser-class
+//     (EgressMB) workload with a deliberately branch-dense spec — the
+//     worst case for plan size.
+//
+// Identical gates both: a false value is a correctness bug, not a
+// measurement artefact.
+type ClusterBench struct {
+	Profile string
+	Nodes   int
+
+	Locations    int
+	ReplanSec    float64
+	PeerFetchSec float64
+	FetchSpeedup float64
+	Identical    bool
+
+	EgressMB        int
+	EgressTextMB    int
+	FullEgressBytes int
+	PlanEgressBytes int
+	EgressRatio     float64
+	EgressIdentical bool
+}
+
+// benchSwap lets an httptest server start (fixing its URL) before the
+// node behind it exists — cluster configs need every peer URL up front.
+type benchSwap struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *benchSwap) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *benchSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node not up", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// peerFetchScale sizes the gcc binary the peer-fetch comparison runs
+// on (~15 MB of text at 4.0). The two strategies share the HTTP fixed
+// costs (upload, hashing, response); the comparison is meaningful only
+// when the planning work dominates them, which the default 0.25 eval
+// scale (a ~1 MB binary rewritten in tens of milliseconds) does not.
+const peerFetchScale = 4.0
+
+// MeasureCluster runs both cluster measurements. egressMB/egressTextMB
+// size the plan-delta workload (the acceptance profile is 120/16).
+func MeasureCluster(opt Options, egressMB, egressTextMB int, progress io.Writer) (*ClusterBench, error) {
+	opt = opt.withDefaults()
+	p, err := workload.ProfileByName("gcc")
+	if err != nil {
+		return nil, err
+	}
+	prog, err := workload.BuildStatic(p, peerFetchScale)
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterBench{Profile: p.Name, Nodes: 3, EgressMB: egressMB, EgressTextMB: egressTextMB}
+
+	if err := measurePeerFetch(prog.ELF, out, progress); err != nil {
+		return nil, err
+	}
+	if err := measurePlanDeltaEgress(egressMB, egressTextMB, out, progress); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// measurePeerFetch times a cold full rewrite on a key's owner against
+// a peer plan-fetch rematerialization of the same key on a non-owner,
+// best of 3 fresh keys each, over an in-process 3-node cluster.
+func measurePeerFetch(elf []byte, out *ClusterBench, progress io.Writer) error {
+	const nodes = 3
+	swaps := make([]*benchSwap, nodes)
+	https := make([]*httptest.Server, nodes)
+	urls := make([]string, nodes)
+	for i := range swaps {
+		swaps[i] = &benchSwap{}
+		https[i] = httptest.NewServer(swaps[i])
+		urls[i] = https[i].URL
+		defer https[i].Close()
+	}
+	srvs := make([]*server.Server, nodes)
+	byURL := map[string]int{}
+	for i := range srvs {
+		srvs[i] = server.New(server.Config{
+			Workers:  2,
+			QueueLen: 16,
+			Cluster:  cluster.Config{Self: urls[i], Peers: urls},
+		})
+		defer srvs[i].Close()
+		swaps[i].set(srvs[i].Handler())
+		byURL[urls[i]] = i
+	}
+
+	post := func(node int, query string) (*http.Response, []byte, float64, error) {
+		req, err := http.NewRequest(http.MethodPost,
+			urls[node]+"/v1/rewrite?"+query, bytes.NewReader(elf))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		// Mark the request routed so each node handles it itself — the
+		// measurement wants the peer-fetch path, not the forwarder.
+		req.Header.Set("X-E9-Routed", "1")
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		sec := time.Since(start).Seconds()
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, nil, 0, fmt.Errorf("node %d answered %d: %s", node, resp.StatusCode, body)
+		}
+		return resp, body, sec, nil
+	}
+
+	const reps = 3
+	out.Identical = true
+	for r := 0; r < reps; r++ {
+		// A targeted selector (all short-je opcodes: AFL-style edge
+		// instrumentation of one branch family) keeps the plan small
+		// relative to the planning work — the regime peer plan-fetch is
+		// for. A fresh skip value gives each rep a cold key; the owner
+		// moves with the hash, so look it up per rep.
+		query := fmt.Sprintf("match=op%%3D0x74&action=empty&skip=%d", r)
+		keyURL, err := ownerURL(srvs[0], elf, query)
+		if err != nil {
+			return err
+		}
+		owner := byURL[keyURL]
+		if progress != nil {
+			fmt.Fprintf(progress, "# cluster: rep %d replan on node %d\n", r, owner)
+		}
+		respO, bodyO, replanSec, err := post(owner, query)
+		if err != nil {
+			return fmt.Errorf("cluster replan: %w", err)
+		}
+		if st := respO.Header.Get("X-E9-Cache"); st != "miss" {
+			return fmt.Errorf("cluster replan rep %d: cache status %q, want miss", r, st)
+		}
+		other := (owner + 1) % nodes
+		if progress != nil {
+			fmt.Fprintf(progress, "# cluster: rep %d peer-fetch on node %d\n", r, other)
+		}
+		respP, bodyP, fetchSec, err := post(other, query)
+		if err != nil {
+			return fmt.Errorf("cluster peer fetch: %w", err)
+		}
+		if st := respP.Header.Get("X-E9-Cache"); st != "peer-plan" {
+			return fmt.Errorf("cluster peer fetch rep %d: cache status %q, want peer-plan", r, st)
+		}
+		out.Identical = out.Identical && bytes.Equal(bodyO, bodyP)
+		if out.ReplanSec == 0 || replanSec < out.ReplanSec {
+			out.ReplanSec = replanSec
+		}
+		if out.PeerFetchSec == 0 || fetchSec < out.PeerFetchSec {
+			out.PeerFetchSec = fetchSec
+		}
+		if r == 0 {
+			var st struct {
+				Total int `json:"total"`
+			}
+			parseStatsHeader(respO.Header.Get("X-E9-Stats"), &st)
+			out.Locations = st.Total
+		}
+	}
+	if out.PeerFetchSec > 0 {
+		out.FetchSpeedup = out.ReplanSec / out.PeerFetchSec
+	}
+	return nil
+}
+
+// measurePlanDeltaEgress compares the full-binary response size with
+// the plan-delta response size on the streaming (browser-class)
+// workload, verifying client-side apply reproduces the binary.
+func measurePlanDeltaEgress(egressMB, egressTextMB int, out *ClusterBench, progress io.Writer) error {
+	if progress != nil {
+		fmt.Fprintf(progress, "# cluster: building %d MB egress workload\n", egressMB)
+	}
+	prog, err := workload.BuildStream(egressMB, egressTextMB)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:      2,
+		QueueLen:     16,
+		MaxBodyBytes: int64(len(prog.ELF)) + (1 << 20),
+		// A browser-class binary's plan outgrows the default 64 MiB plan
+		// budget; size both tiers to the workload so the plan banks.
+		CacheBytes:     4 * int64(len(prog.ELF)),
+		PlanCacheBytes: 4 * int64(len(prog.ELF)),
+		Timeout:        10 * time.Minute,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(accept string) ([]byte, error) {
+		req, err := http.NewRequest(http.MethodPost,
+			ts.URL+"/v1/rewrite?match=jcc+%26+short&action=empty", bytes.NewReader(prog.ELF))
+		if err != nil {
+			return nil, err
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+			// Explicitly negotiating gzip disables the transport's
+			// transparent decompression, so the bytes read below are the
+			// wire bytes — what egress means.
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("egress rewrite answered %d: %.200s", resp.StatusCode, body)
+		}
+		return body, nil
+	}
+
+	if progress != nil {
+		fmt.Fprintf(progress, "# cluster: full-binary response\n")
+	}
+	full, err := post("")
+	if err != nil {
+		return err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "# cluster: plan-delta response\n")
+	}
+	planBytes, err := post("application/x-e9-plan")
+	if err != nil {
+		return err
+	}
+	out.FullEgressBytes = len(full)
+	out.PlanEgressBytes = len(planBytes)
+	if len(full) > 0 {
+		out.EgressRatio = float64(len(planBytes)) / float64(len(full))
+	}
+
+	// The wire bytes are gzip-coded (see servePlan); decompress before
+	// decoding, as a real plan-delta client would.
+	zr, err := gzip.NewReader(bytes.NewReader(planBytes))
+	if err != nil {
+		return fmt.Errorf("plan-delta body is not gzip-coded: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return fmt.Errorf("plan-delta gunzip: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return fmt.Errorf("plan-delta gunzip: %w", err)
+	}
+	pl, err := e9patch.DecodePlan(raw)
+	if err != nil {
+		return fmt.Errorf("plan-delta body does not decode: %w", err)
+	}
+	applied, err := e9patch.ApplyContext(context.Background(), prog.ELF, pl)
+	if err != nil {
+		return fmt.Errorf("client-side apply: %w", err)
+	}
+	out.EgressIdentical = bytes.Equal(applied.Output, full)
+	return nil
+}
+
+// ownerURL resolves the cluster owner of one request's cache key via
+// the server's exported routing probe.
+func ownerURL(s *server.Server, body []byte, query string) (string, error) {
+	return s.KeyOwner(body, query)
+}
+
+// parseStatsHeader best-effort decodes the X-E9-Stats header.
+func parseStatsHeader(h string, v any) {
+	if h == "" {
+		return
+	}
+	_ = json.Unmarshal([]byte(h), v)
+}

@@ -42,6 +42,14 @@ func FuzzRPCSession(f *testing.F) {
 	f.Add([]byte(`{"method":"binary","params":{"filename":"/etc/passwd"}}`))
 	f.Add([]byte(`{"method":"option","params":{"granularity":-1}}`))
 	f.Add([]byte("\n\n\n{\"method\":"))
+	// Number-string shapes the strict hex parser must classify as
+	// malformed: 0x-less decimal/octal, empty, and >16-nibble strings.
+	f.Add([]byte(`{"method":"option","params":{"skipPrefix":"123"}}`))
+	f.Add([]byte(`{"method":"option","params":{"skipPrefix":"0755"}}`))
+	f.Add([]byte(`{"method":"option","params":{"skipPrefix":""}}`))
+	f.Add([]byte(`{"method":"option","params":{"skipPrefix":"0x10000000000000000"}}`))
+	f.Add([]byte(`{"method":"option","params":{"counter":"0x1_000"}}`))
+	f.Add([]byte(`{"method":"reserve","params":{"ranges":[["0x0000000000000000f","0x700000010000"]]}}`))
 
 	opts := Options{
 		MaxMessageBytes: 1 << 16,

@@ -14,9 +14,9 @@
 // over a single binary. Messages are JSON-RPC 2.0 objects, one per
 // line; requests carrying an "id" receive a response line, id-less
 // notifications do not. As in E9Patch, numbers may be written either
-// as JSON numbers or as hexadecimal strings: "address": 4245300 and
-// "address": "0x40c734" are equivalent, and the string form represents
-// the full 64-bit range losslessly.
+// as JSON numbers or as 0x-prefixed hexadecimal strings:
+// "address": 4245300 and "address": "0x40c734" are equivalent, and the
+// string form represents the full 64-bit range losslessly.
 //
 // The decoder enforces hostile-input caps (message length, binary
 // payload size) before any parsing, and every failure is a classified
@@ -42,9 +42,18 @@ import (
 const DefaultMaxMessageBytes = 4 << 20
 
 // Uint64 is a uint64 that accepts the protocol's number extension:
-// either a JSON number or a string in any Go literal base, so
+// either a JSON number or a 0x-prefixed hexadecimal string, so
 // "0x40c734" and 4245300 decode identically and values above 2^53
 // survive frontends that route numbers through floats.
+//
+// The string form is strictly "0x" (or "0X") followed by 1..16 hex
+// digits. Earlier revisions routed strings through Go's any-base
+// literal parser, which silently accepted decimal ("123"), octal
+// ("0755" = 493) and binary ("0b101") spellings — an address written
+// octal-style by a confused frontend decoded to the wrong location
+// with no diagnostic. Those shapes, along with empty strings,
+// digit-group underscores and >16-nibble strings, are now classified
+// malformed errors (-32000 on the wire).
 type Uint64 uint64
 
 // UnmarshalJSON implements json.Unmarshaler.
@@ -53,18 +62,31 @@ func (u *Uint64) UnmarshalJSON(b []byte) error {
 	if strings.HasPrefix(s, "\"") {
 		var str string
 		if err := json.Unmarshal(b, &str); err != nil {
-			return err
+			return e9err.Malformed("rpc", "rpc: bad number string: %v", err)
 		}
-		v, err := strconv.ParseUint(str, 0, 64)
+		digits, ok := strings.CutPrefix(str, "0x")
+		if !ok {
+			digits, ok = strings.CutPrefix(str, "0X")
+		}
+		if !ok || digits == "" {
+			return e9err.Malformed("rpc",
+				"rpc: bad number string %q (want 0x-prefixed hex)", str)
+		}
+		if len(digits) > 16 {
+			return e9err.Malformed("rpc",
+				"rpc: number string %q exceeds 64 bits (%d hex digits)", str, len(digits))
+		}
+		v, err := strconv.ParseUint(digits, 16, 64)
 		if err != nil {
-			return fmt.Errorf("rpc: bad number string %q", str)
+			return e9err.Malformed("rpc",
+				"rpc: bad number string %q (want 0x-prefixed hex)", str)
 		}
 		*u = Uint64(v)
 		return nil
 	}
 	v, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
-		return fmt.Errorf("rpc: bad number %s", s)
+		return e9err.Malformed("rpc", "rpc: bad number %s", s)
 	}
 	*u = Uint64(v)
 	return nil

@@ -240,13 +240,25 @@ func TestUint64Forms(t *testing.T) {
 	}{
 		{`4245300`, 4245300, true},
 		{`"0x40c734"`, 0x40c734, true},
+		{`"0X40C734"`, 0x40c734, true},
 		{`"0xffffffffffffffff"`, ^uint64(0), true},
-		{`"18446744073709551615"`, ^uint64(0), true},
 		{`-1`, 0, false},
 		{`1.5`, 0, false},
 		{`"0x"`, 0, false},
 		{`"zzz"`, 0, false},
 		{`true`, 0, false},
+		// The string form is strictly 0x-prefixed hex. The any-base
+		// parser used before this was tightened silently accepted all of
+		// these — most dangerously "0755", which decoded to 493, not 755:
+		// an address aimed at the wrong location with no diagnostic.
+		{`"18446744073709551615"`, 0, false}, // decimal string
+		{`"0755"`, 0, false},                 // octal spelling
+		{`"0b101"`, 0, false},                // binary spelling
+		{`""`, 0, false},                     // empty
+		{`"0x1_000"`, 0, false},              // digit-group underscores
+		{`"0x10000000000000000"`, 0, false},  // 17 nibbles: > 64 bits
+		{`"0x0000000000000000f"`, 0, false},  // >16 nibbles even when the value fits
+		{`" 0x10"`, 0, false},                // leading junk
 	} {
 		var u Uint64
 		err := json.Unmarshal([]byte(tc.in), &u)
@@ -256,6 +268,13 @@ func TestUint64Forms(t *testing.T) {
 		}
 		if tc.ok && uint64(u) != tc.want {
 			t.Errorf("%s: got %#x, want %#x", tc.in, uint64(u), tc.want)
+		}
+		// Rejected strings must carry the malformed classification so
+		// they answer -32000 on the wire, not the internal-error code.
+		if !tc.ok && strings.HasPrefix(tc.in, `"`) {
+			if !errors.Is(err, e9err.ErrMalformed) || CodeFor(err) != CodeMalformed {
+				t.Errorf("%s: err %v maps to code %d, want %d (malformed)", tc.in, err, CodeFor(err), CodeMalformed)
+			}
 		}
 	}
 	// Round trip through MarshalJSON keeps large values exact.

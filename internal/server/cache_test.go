@@ -47,6 +47,45 @@ func TestCacheRefreshToLarger(t *testing.T) {
 	}
 }
 
+// TestCacheRefreshToSmaller: the shrink direction of a same-key
+// overwrite. Audit (hardening sweep): put charges the size difference
+// (`used += new - old`), which is negative on shrink — the accounting
+// was already correct, these tests pin it against regression.
+func TestCacheRefreshToSmaller(t *testing.T) {
+	c := newLRUCache[*planEntry](100)
+	c.put("a", pe(60))
+	c.put("b", pe(20))
+	c.put("a", pe(10)) // refresh: 60 -> 10, total 30
+	entries, bytes, evictions := c.stats()
+	if entries != 2 || bytes != 30 || evictions != 0 {
+		t.Fatalf("after shrink refresh: %d entries / %d bytes / %d evictions, want 2/30/0", entries, bytes, evictions)
+	}
+	// The freed headroom must be real: 70 more bytes fit with no eviction.
+	c.put("c", pe(70))
+	if entries, bytes, evictions = c.stats(); entries != 3 || bytes != 100 || evictions != 0 {
+		t.Fatalf("after refill: %d entries / %d bytes / %d evictions, want 3/100/0", entries, bytes, evictions)
+	}
+}
+
+// TestCacheOversizedOverwrite: overwriting a resident key with an
+// entry larger than the whole budget must reject the new entry and
+// leave the old one — resident and correctly accounted — rather than
+// dropping it or going negative. (With content-addressed keys the two
+// payloads are identical in production; this guards the invariant, not
+// a live collision.)
+func TestCacheOversizedOverwrite(t *testing.T) {
+	c := newLRUCache[*planEntry](100)
+	c.put("a", pe(40))
+	c.put("a", pe(101)) // over budget: rejected before any accounting
+	entries, bytes, evictions := c.stats()
+	if entries != 1 || bytes != 40 || evictions != 0 {
+		t.Fatalf("after oversized overwrite: %d entries / %d bytes / %d evictions, want 1/40/0", entries, bytes, evictions)
+	}
+	if e, ok := c.get("a"); !ok || e.size() != 40 {
+		t.Fatal("original entry lost after an oversized overwrite attempt")
+	}
+}
+
 // TestCacheEvictionCounter: the counter tracks each displaced entry.
 func TestCacheEvictionCounter(t *testing.T) {
 	c := newLRUCache[*planEntry](10)

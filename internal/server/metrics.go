@@ -28,6 +28,14 @@ type Metrics struct {
 	rejected  map[string]uint64 // resource-limit rejections by reason
 	inflight  int64             // requests currently being handled
 
+	peerPlanHits uint64            // results rematerialized from a peer-fetched plan
+	peerPlanMiss uint64            // peer plan fetches that found no plan (or no peer)
+	forwarded    uint64            // requests routed to their key's owner node
+	fwdFallback  uint64            // forwards that failed over to local handling
+	planDelta    uint64            // plan-delta (application/x-e9-plan) responses
+	batches      uint64            // completed /v1/batch jobs
+	batchItems   map[string]uint64 // batch items by outcome ("ok"/"error")
+
 	buckets []uint64 // len(latencyBuckets)+1, last slot is +Inf
 	latSum  float64
 	latN    uint64
@@ -36,9 +44,10 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[string]uint64),
-		rejected: make(map[string]uint64),
-		buckets:  make([]uint64, len(latencyBuckets)+1),
+		requests:   make(map[string]uint64),
+		rejected:   make(map[string]uint64),
+		batchItems: make(map[string]uint64),
+		buckets:    make([]uint64, len(latencyBuckets)+1),
 	}
 }
 
@@ -70,6 +79,32 @@ func (m *Metrics) IncQueueFull() { m.inc(&m.queueFull) }
 // IncPanicRecovered counts one panic contained by a recovery boundary
 // (worker-pool job or library pipeline) instead of killing the process.
 func (m *Metrics) IncPanicRecovered() { m.inc(&m.panics) }
+
+// IncPeerPlanHit / IncPeerPlanMiss count peer plan-fetch outcomes: a
+// hit is a result rematerialized from a plan the key's owner shipped
+// over, a miss means the owner held no plan (or was unreachable) and a
+// full local rewrite followed.
+func (m *Metrics) IncPeerPlanHit()  { m.inc(&m.peerPlanHits) }
+func (m *Metrics) IncPeerPlanMiss() { m.inc(&m.peerPlanMiss) }
+
+// IncForwarded / IncForwardFallback count front-door routing: requests
+// proxied to their key's owner, and forwards that failed over to local
+// handling because the owner was down.
+func (m *Metrics) IncForwarded()       { m.inc(&m.forwarded) }
+func (m *Metrics) IncForwardFallback() { m.inc(&m.fwdFallback) }
+
+// IncPlanDelta counts plan-delta responses (the client applies
+// locally; egress drops from binary-size to plan-size).
+func (m *Metrics) IncPlanDelta() { m.inc(&m.planDelta) }
+
+// IncBatch counts one completed /v1/batch job; IncBatchItem counts
+// each item within one by outcome.
+func (m *Metrics) IncBatch() { m.inc(&m.batches) }
+func (m *Metrics) IncBatchItem(outcome string) {
+	m.mu.Lock()
+	m.batchItems[outcome]++
+	m.mu.Unlock()
+}
 
 // IncRejected counts one request rejected by a resource limit, by
 // machine-readable reason (the e9err.Reason* constants).
@@ -148,6 +183,23 @@ func (m *Metrics) WriteText(w io.Writer, g Gauges) {
 	counter("e9served_streams_total", "v2 streaming sessions completed.", m.streams)
 	counter("e9served_queue_full_total", "Requests rejected because the work queue was full.", m.queueFull)
 	counter("e9served_panic_recovered_total", "Panics contained by a recovery boundary.", m.panics)
+	counter("e9served_peer_plan_hits_total", "Results rematerialized from a peer-fetched plan.", m.peerPlanHits)
+	counter("e9served_peer_plan_misses_total", "Peer plan fetches that found no usable plan.", m.peerPlanMiss)
+	counter("e9served_forwarded_total", "Requests routed to their key's owner node.", m.forwarded)
+	counter("e9served_forward_fallback_total", "Forwards failed over to local handling (owner down).", m.fwdFallback)
+	counter("e9served_plan_delta_total", "Plan-delta responses served (client applies locally).", m.planDelta)
+	counter("e9served_batches_total", "Completed /v1/batch jobs.", m.batches)
+
+	fmt.Fprintf(w, "# HELP e9served_batch_items_total Batch items by outcome.\n")
+	fmt.Fprintf(w, "# TYPE e9served_batch_items_total counter\n")
+	outcomes := make([]string, 0, len(m.batchItems))
+	for o := range m.batchItems {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "e9served_batch_items_total{outcome=%q} %d\n", o, m.batchItems[o])
+	}
 
 	fmt.Fprintf(w, "# HELP e9served_rejected_total Requests rejected by a resource limit, by reason.\n")
 	fmt.Fprintf(w, "# TYPE e9served_rejected_total counter\n")

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"e9patch"
+	"e9patch/internal/cluster"
 	"e9patch/internal/e9err"
 	"e9patch/internal/patch"
 )
@@ -63,6 +64,22 @@ type Config struct {
 	// value disables the per-rewrite bounds (MaxBodyBytes still caps
 	// the upload).
 	Limits e9patch.Limits
+	// Cluster names this node's place in a static consistent-hash
+	// cluster (DESIGN.md §15). The zero value runs single-node. When
+	// enabled, requests for keys owned by a peer are forwarded to it
+	// (falling back to local handling when the peer is down), misses on
+	// non-owned keys try a peer plan-fetch before replanning, and
+	// GET /internal/v1/plan/{key} serves this node's plan shard.
+	Cluster cluster.Config
+	// MaxBatchBytes bounds one /v1/batch request body (default 4x
+	// MaxBodyBytes); MaxBatchItems bounds the items in it (default 256).
+	MaxBatchBytes int64
+	MaxBatchItems int
+	// BatchTenantConcurrency caps how many batch items one tenant (the
+	// X-E9-Tenant header) may have in flight on this node at once
+	// (default: half the workers, min 1) — one tenant's fleet-wide
+	// batch cannot starve the others.
+	BatchTenantConcurrency int
 	// Logf, when non-nil, receives internal-failure details that are
 	// deliberately kept out of 500 response bodies (default: the
 	// standard library logger).
@@ -88,6 +105,16 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 4 * c.MaxBodyBytes
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.BatchTenantConcurrency <= 0 {
+		c.BatchTenantConcurrency = max(1, c.Workers/2)
+	}
+	c.Cluster = c.Cluster.WithDefaults()
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -123,11 +150,28 @@ type Server struct {
 	// degrades each rewrite toward sequential instead of
 	// oversubscribing the machine.
 	shards *e9patch.Pool
+
+	// Cluster state (nil/unused when Config.Cluster is zero): the
+	// consistent-hash ring mapping cache keys to owner nodes, the peer
+	// plan-fetch client, the shared peer-health tracker, and the
+	// HTTP client used to forward whole requests to their owners.
+	ring   *cluster.Ring
+	peers  *cluster.Client
+	health *cluster.Health
+	fwd    *http.Client
+
+	// tenants rate-limits /v1/batch fan-out per tenant.
+	tenants *tenantLimiter
 }
 
-// New builds a Server with cfg (zero values take defaults).
+// New builds a Server with cfg (zero values take defaults). An invalid
+// cluster config (a Self outside the peer list) panics: it is a
+// deployment error that would silently shard every key remotely.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if err := cfg.Cluster.Validate(); err != nil {
+		panic(err)
+	}
 	s := &Server{
 		cfg:     cfg,
 		pool:    newPool(cfg.Workers, cfg.QueueLen),
@@ -136,6 +180,13 @@ func New(cfg Config) *Server {
 		flights: newFlightGroup(),
 		metrics: NewMetrics(),
 		shards:  e9patch.NewPool(cfg.Workers),
+		tenants: newTenantLimiter(cfg.BatchTenantConcurrency),
+	}
+	if cfg.Cluster.Enabled() {
+		s.ring = cluster.NewRing(cfg.Cluster.Peers, cfg.Cluster.Replicas)
+		s.health = cluster.NewHealth(cfg.Cluster.Cooldown)
+		s.peers = cluster.NewClient(cfg.Cluster, s.health, cfg.PlanCacheBytes)
+		s.fwd = &http.Client{}
 	}
 	// Last-resort containment: a panic that escapes a job closure (i.e.
 	// server code outside the per-job recovery below) must not take the
@@ -166,13 +217,18 @@ func New(cfg Config) *Server {
 		if enc, err := p.Encode(); err == nil {
 			s.plans.put(cacheKey(binary, spec), &planEntry{data: enc})
 		}
-		return e9patch.ApplyContext(ctx, binary, p)
+		// The plan was produced by this very call against these very
+		// bytes, so the trusted apply path (no universe re-derivation)
+		// is exact, not a shortcut.
+		return e9patch.ApplyTrustedContext(ctx, binary, p)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/rewrite", s.handleRewrite)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v2/rewrite", s.handleRewriteV2)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET "+cluster.PlanPath+"{key}", s.handlePlanFetch)
 	return s
 }
 
@@ -241,7 +297,17 @@ func (s *Server) rematerialize(ctx context.Context, body []byte, pe *planEntry) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := e9patch.ApplyContext(ctx, body, p)
+	return s.applyPlan(ctx, body, p)
+}
+
+// applyPlan replays an already-decoded plan onto body via the trusted
+// apply path. Every plan reaching here is either self-produced (banked
+// by s.rewrite) or peer-produced and decode-validated; both are
+// input-bound, which ApplyTrusted verifies, so skipping the
+// disassembly-universe re-derivation costs no safety and most of the
+// rematerialization time on large binaries.
+func (s *Server) applyPlan(ctx context.Context, body []byte, p *e9patch.PatchPlan) (*cacheEntry, error) {
+	res, err := e9patch.ApplyTrustedContext(ctx, body, p)
 	if err != nil {
 		return nil, err
 	}
@@ -320,9 +386,30 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey(body, spec)
-	if e, ok := s.cache.get(key); ok {
-		s.metrics.IncHit()
-		s.serve(w, e, "hit")
+	wantPlan := acceptsPlan(r)
+
+	// Local result hit: serve straight away, owned key or not — a hot
+	// local entry beats a network hop. (Plan-delta requests want the
+	// plan bytes, which live in the other tier; fall through for those.)
+	if !wantPlan {
+		if e, ok := s.cache.get(key); ok {
+			s.metrics.IncHit()
+			s.serve(w, e, "hit")
+			return
+		}
+	}
+
+	// Front-door routing: a key owned by a peer is the peer's to serve,
+	// so cache shards stay disjoint across the fleet. Falls through to
+	// local handling when the owner is down (availability beats shard
+	// discipline) or when this request was already routed once.
+	if handled, upstream := s.tryForward(w, r, body, key); handled {
+		code = upstream
+		return
+	}
+
+	if wantPlan {
+		s.handlePlanDelta(w, r, body, spec, key, fail, func() { code = "499" })
 		return
 	}
 	s.metrics.IncMiss()
@@ -343,7 +430,39 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.IncPlanMiss()
 
-	entry, shared, err := s.flights.do(r.Context(), key, s.cfg.Timeout,
+	// Third tier, cluster only: this node is handling a key it does not
+	// own (routed here, or the owner was down when the front door looked).
+	// The owner may still hold the plan — one small GET plus a
+	// decision-free Apply beats redoing the whole tactic search.
+	if e, ok := s.peerRematerialize(r.Context(), key, body); ok {
+		s.serve(w, e, "peer-plan")
+		return
+	}
+
+	entry, shared, err := s.rewriteFlight(r.Context(), key, body, spec)
+	if shared {
+		s.metrics.IncCoalesced()
+	}
+	switch {
+	case err == nil:
+		status := "miss"
+		if shared {
+			status = "coalesced"
+		}
+		s.serve(w, entry, status)
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", s.retryAfter())
+		fail(http.StatusTooManyRequests, "work queue full; retry later")
+	default:
+		s.failClassified(err, fail, func() { code = "499" })
+	}
+}
+
+// rewriteFlight runs the full rewrite for key through singleflight
+// coalescing and the bounded worker pool: the backpressured slow path
+// shared by /v1/rewrite's binary and plan-delta flows.
+func (s *Server) rewriteFlight(ctx context.Context, key string, body []byte, spec *Spec) (*cacheEntry, bool, error) {
+	return s.flights.do(ctx, key, s.cfg.Timeout,
 		func(jobCtx context.Context, finish func(*cacheEntry, error)) error {
 			submitErr := s.pool.trySubmit(func() {
 				if err := jobCtx.Err(); err != nil {
@@ -367,21 +486,52 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 			}
 			return submitErr
 		})
+}
+
+// handlePlanDelta serves the plan-delta flow of /v1/rewrite (Accept:
+// application/x-e9-plan): the client gets the serialized PatchPlan and
+// applies it locally, so the response is ~plan-size instead of
+// ~binary-size. Tiering mirrors the binary flow — local plan cache,
+// then the key's owner, then a full (pool-bounded, coalesced) rewrite
+// whose planning phase banks the plan this response serves.
+func (s *Server) handlePlanDelta(w http.ResponseWriter, r *http.Request, body []byte, spec *Spec,
+	key string, fail func(int, string), gone func()) {
+
+	if pe, ok := s.plans.get(key); ok {
+		s.metrics.IncPlanHit()
+		s.servePlan(w, r, pe.data, "plan")
+		return
+	}
+	s.metrics.IncPlanMiss()
+	if data, _, ok := s.peerPlan(r.Context(), key); ok {
+		s.metrics.IncPeerPlanHit()
+		s.plans.put(key, &planEntry{data: data})
+		s.servePlan(w, r, data, "peer-plan")
+		return
+	}
+	_, shared, err := s.rewriteFlight(r.Context(), key, body, spec)
 	if shared {
 		s.metrics.IncCoalesced()
 	}
 	switch {
 	case err == nil:
+		pe, ok := s.plans.get(key)
+		if !ok {
+			// The rewrite succeeded but no plan was banked (encode failure
+			// — effectively unreachable — or a test stub rewrite path).
+			fail(http.StatusInternalServerError, "plan unavailable for this rewrite")
+			return
+		}
 		status := "miss"
 		if shared {
 			status = "coalesced"
 		}
-		s.serve(w, entry, status)
+		s.servePlan(w, r, pe.data, status)
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", s.retryAfter())
 		fail(http.StatusTooManyRequests, "work queue full; retry later")
 	default:
-		s.failClassified(err, fail, func() { code = "499" })
+		s.failClassified(err, fail, gone)
 	}
 }
 
@@ -447,9 +597,15 @@ func (s *Server) runRewrite(ctx context.Context, body []byte, spec *Spec) (res *
 
 // observeRewrite feeds one rewrite's wall time into the rolling mean
 // behind Retry-After (EWMA, 20% weight on the newest sample).
+// Non-positive and non-finite samples are dropped: a clock step or a
+// poisoned duration must never corrupt the mean into something the
+// retryAfter clamp cannot contain.
 func (s *Server) observeRewrite(d time.Duration) {
-	s.durMu.Lock()
 	sec := d.Seconds()
+	if !(sec > 0) || math.IsInf(sec, 0) { // also rejects NaN
+		return
+	}
+	s.durMu.Lock()
 	if s.meanRewriteSec == 0 {
 		s.meanRewriteSec = sec
 	} else {
@@ -464,19 +620,31 @@ func (s *Server) observeRewrite(d time.Duration) {
 // seconds — long enough to matter, short enough that clients retry
 // while the estimate is still meaningful. Before the first completed
 // rewrite there is no estimate and the floor is used.
+//
+// Audit (hardening sweep): under New(), withDefaults guarantees
+// Workers >= 1, the EWMA is read under durMu, and IEEE division means
+// even workers==0 would yield +Inf — caught by the upper clamp, never
+// a panic. The explicit floor on workers below is defense in depth for
+// a Server constructed without New (as some tests do), and the clamp
+// is written so that any non-finite estimate lands on a bound rather
+// than flowing through int(NaN).
 func (s *Server) retryAfter() string {
 	s.durMu.Lock()
 	mean := s.meanRewriteSec
 	s.durMu.Unlock()
-	if mean <= 0 {
-		return "1"
+	if !(mean > 0) {
+		return "1" // no completed rewrite yet: the floor
 	}
-	est := math.Ceil(mean * float64(s.pool.depth()+1) / float64(s.cfg.Workers))
-	if est < 1 {
-		est = 1
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
 	}
-	if est > 30 {
+	est := math.Ceil(mean * float64(s.pool.depth()+1) / float64(workers))
+	switch {
+	case est > 30:
 		est = 30
+	case !(est >= 1): // <1, or a non-finite estimate
+		est = 1
 	}
 	return strconv.Itoa(int(est))
 }

@@ -289,3 +289,60 @@ func TestSizePercentZeroInput(t *testing.T) {
 		t.Fatalf("SizePercent = %v, want 150", got)
 	}
 }
+
+// TestApplyTrusted pins the trusted apply path's contract: identical
+// bytes to the verifying Apply, refusal of input-unbound plans (an
+// unbound plan has no hash pinning the universe, so skipping the
+// digest check would be unchecked trust), refusal of the wrong input,
+// and — the reason the path exists — no universe re-derivation, pinned
+// by accepting a plan whose digest was tampered but whose input
+// binding still matches.
+func TestApplyTrusted(t *testing.T) {
+	bin := planCorpus(t)[0].bin
+	sel, err := SelectMatch("jcc & short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Select: sel, ReserveVA: workload.ReserveVA()}
+	p, err := Plan(bin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := Apply(bin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted, err := ApplyTrusted(bin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(verified.Output, trusted.Output) {
+		t.Error("ApplyTrusted materializes different bytes than Apply")
+	}
+
+	unbound := *p
+	unbound.InputSHA256 = ""
+	if _, err := ApplyTrusted(bin, &unbound); err == nil {
+		t.Error("ApplyTrusted accepted an input-unbound plan")
+	} else if !strings.Contains(err.Error(), "input-bound") {
+		t.Errorf("unbound-plan refusal does not explain itself: %v", err)
+	}
+	if _, err := Apply(bin, &unbound); err != nil {
+		t.Errorf("Apply must still accept unbound plans (hand-authored): %v", err)
+	}
+
+	other := append([]byte(nil), bin...)
+	other[len(other)-1] ^= 0xFF
+	if _, err := ApplyTrusted(other, p); err == nil {
+		t.Error("ApplyTrusted accepted an input that does not match the plan's binding")
+	}
+
+	tampered := *p
+	tampered.DisasmDigest = strings.Repeat("0", len(p.DisasmDigest))
+	if _, err := Apply(bin, &tampered); err == nil {
+		t.Error("Apply must reject a tampered universe digest")
+	}
+	if _, err := ApplyTrusted(bin, &tampered); err != nil {
+		t.Errorf("ApplyTrusted re-derived the universe it is documented to skip: %v", err)
+	}
+}
